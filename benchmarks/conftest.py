@@ -1,0 +1,22 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one figure's experiment at a reproduction scale chosen
+to finish in tens of seconds, verifies the paper's qualitative claims, and
+writes the regenerated rows to ``benchmarks/results/<figure>.txt`` so the
+paper-vs-measured comparison is inspectable after a ``--benchmark-only``
+run (stdout is captured by pytest).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, title: str, text: str) -> None:
+    """Persist a regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(f"== {title} ==\n{text}\n")
+    print(f"\n== {title} ==\n{text}")

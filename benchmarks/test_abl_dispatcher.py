@@ -1,0 +1,19 @@
+"""Ablation A5: dispatcher service-time sensitivity (the Fig. 9 knee)."""
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_dispatcher(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_dispatcher_sensitivity(nodes=128),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "abl_dispatcher",
+        "A5: small-task utilization vs submit-host mpiexec spawn cost",
+        rows_to_table(rows, ["spawn_ms", "util"]),
+    )

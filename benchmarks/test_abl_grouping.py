@@ -1,0 +1,17 @@
+"""Ablation A3: FIFO vs topology-aware worker grouping (paper §7)."""
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_grouping(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_grouping(nodes=64, jobs=48), rounds=1, iterations=1
+    )
+    write_result(
+        "abl_grouping",
+        "A3: worker grouping and torus group diameter",
+        rows_to_table(rows, ["grouping", "mean_diameter", "jobs"]),
+    )

@@ -1,0 +1,21 @@
+"""Ablation A6: MPI-IO collective vs independent I/O (paper §1.2 / §7).
+
+Sweeps filesystem contention to locate the crossover where two-phase
+aggregation starts paying off, confirming the paper's N → N/16
+client-reduction argument under small-access contention.
+"""
+
+from repro.experiments import mpiio as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_mpiio(benchmark):
+    rows = benchmark.pedantic(lambda: exp.run(), rounds=1, iterations=1)
+    exp.verify(rows)
+    write_result(
+        "abl_mpiio",
+        "A6: MPI-IO aggregation speedup vs filesystem contention",
+        rows_to_table(rows, ["alpha", "independent_s", "collective_s", "speedup"]),
+    )

@@ -1,0 +1,17 @@
+"""Ablation A2: FIFO vs priority vs backfill queue policies (paper §7)."""
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_scheduling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_scheduling(nodes=16), rounds=1, iterations=1
+    )
+    write_result(
+        "abl_scheduling",
+        "A2: queue policy on a mixed-size workload",
+        rows_to_table(rows, ["policy", "span_s", "util", "completed"]),
+    )

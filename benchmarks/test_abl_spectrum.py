@@ -1,0 +1,19 @@
+"""Ablation A4: single-block vs spectrum allocation (paper §7)."""
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_spectrum(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_spectrum(workers=32), rounds=1, iterations=1
+    )
+    write_result(
+        "abl_spectrum",
+        "A4: spectrum allocator under size-dependent queue waits",
+        rows_to_table(
+            rows, ["spectrum", "t_first_worker", "t_full_capacity", "blocks"]
+        ),
+    )

@@ -1,0 +1,17 @@
+"""Ablation A1: node-local staging vs shared-FS binary reads (paper §5)."""
+
+from repro.experiments import ablations as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_abl_staging(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_staging(nodes=32, jobs=96), rounds=1, iterations=1
+    )
+    write_result(
+        "abl_staging",
+        "A1: staging binaries to node-local RAM FS",
+        rows_to_table(rows, ["staging", "util", "mean_wireup_ms", "span_s"]),
+    )

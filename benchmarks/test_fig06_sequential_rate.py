@@ -1,0 +1,25 @@
+"""Bench: Fig. 6 — sequential-task launch rate on the BG/P.
+
+Paper: launch rate grows with allocation size, exceeding 7,000 no-op
+launches/s on the full 1,024-node rack, approaching the local-launch
+"ideal" bound.
+"""
+
+from repro.experiments import fig06_sequential as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig06_sequential_rate(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run(node_sizes=(64, 256, 512, 1024), tasks_per_node=10),
+        rounds=1,
+        iterations=1,
+    )
+    exp.verify(rows)
+    write_result(
+        "fig06",
+        "Fig. 6: sequential launch rate (jobs/s) — paper: >7,000/s at 1,024 nodes",
+        rows_to_table(rows, ["nodes", "cores", "rate", "ideal", "completed"]),
+    )

@@ -1,0 +1,24 @@
+"""Bench: Fig. 7 — MPI task utilization, cluster setting.
+
+Paper: JETS ≈90 % utilization for 1-s barrier/sleep/barrier MPI tasks on
+the x86 cluster; an mpiexec-in-a-shell-script loop is far lower.
+"""
+
+from repro.experiments import fig07_cluster as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig07_cluster_util(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run(alloc_sizes=(8, 16, 32, 64), jobs_per_node=8),
+        rounds=1,
+        iterations=1,
+    )
+    exp.verify(rows)
+    write_result(
+        "fig07",
+        "Fig. 7: utilization, JETS vs shell script — paper: ~90% vs far lower",
+        rows_to_table(rows, ["alloc", "nproc", "jets_util", "shell_util", "jobs"]),
+    )

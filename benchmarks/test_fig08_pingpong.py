@@ -1,0 +1,25 @@
+"""Bench: Fig. 8 — MPI messaging performance on the BG/P.
+
+Paper: MPICH-over-ZeptoOS-TCP has much higher small-message latency than
+the native stack and slightly lower large-message bandwidth.
+"""
+
+from repro.experiments import fig08_pingpong as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig08_pingpong(benchmark):
+    sizes = [2**k for k in range(0, 23, 2)]
+    rows = benchmark.pedantic(
+        lambda: exp.run(sizes=sizes, reps=20), rounds=1, iterations=1
+    )
+    exp.verify(rows)
+    write_result(
+        "fig08",
+        "Fig. 8: ping-pong one-way latency/bandwidth, native vs MPICH/sockets",
+        rows_to_table(
+            rows, ["nbytes", "native_us", "tcp_us", "native_MBps", "tcp_MBps"]
+        ),
+    )

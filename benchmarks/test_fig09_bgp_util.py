@@ -1,0 +1,29 @@
+"""Bench: Fig. 9 — MPI task launch performance, BG/P setting.
+
+Paper: 10-s tasks, 1 rank/node.  4-proc tasks degrade past 512 nodes
+(dispatcher saturation); 64-proc tasks start slow at small allocations and
+improve with scale.
+"""
+
+from repro.experiments import fig09_bgp as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig09_bgp_util(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run(
+            alloc_sizes=(256, 512, 1024),
+            task_sizes=(4, 8, 64),
+            tasks_per_node=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    exp.verify(rows)
+    write_result(
+        "fig09",
+        "Fig. 9: BG/P utilization for 10-s MPI tasks — paper: 4-proc knee past 512 nodes",
+        rows_to_table(rows, ["alloc", "nproc", "util", "jobs", "wireup_ms"]),
+    )

@@ -1,0 +1,25 @@
+"""Bench: Fig. 10 — task management in a faulty setting.
+
+Paper: 32 pilots, one killed per 10 s; running jobs track available nodes.
+"""
+
+from repro.experiments import fig10_faults as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig10_faults(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp.run(workers=32, fault_interval=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    exp.verify(result)
+    write_result(
+        "fig10",
+        "Fig. 10: availability vs running jobs under fault injection",
+        rows_to_table(result["rows"], ["t", "nodes_avail", "running_jobs"])
+        + f"\nfaults injected: {result['faults']}  "
+        + f"tasks completed: {result['completed']}",
+    )

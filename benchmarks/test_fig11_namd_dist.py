@@ -1,0 +1,23 @@
+"""Bench: Fig. 11 — NAMD wall-time distribution.
+
+Paper: 1,536 4-proc NAMD segments; bulk 100-120 s, tail to 160 s.
+"""
+
+from repro.experiments import fig11_namd_dist as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig11_namd_dist(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp.run(n_jobs=1536), rounds=1, iterations=1
+    )
+    exp.verify(result)
+    s = result["summary"]
+    write_result(
+        "fig11",
+        "Fig. 11: NAMD wall-time distribution — paper: bulk 100-120s, tail to 160s",
+        rows_to_table(result["rows"], ["lo_s", "hi_s", "count"])
+        + f"\nmean {s.mean:.1f}s p50 {s.p50:.1f}s p95 {s.p95:.1f}s max {s.maximum:.1f}s",
+    )

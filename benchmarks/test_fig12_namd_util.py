@@ -1,0 +1,21 @@
+"""Bench: Fig. 12 — NAMD/JETS utilization.
+
+Paper: ~90 % utilization for batches of 4-proc NAMD jobs, 6 per node.
+"""
+
+from repro.experiments import fig12_namd_util as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig12_namd_util(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run(alloc_sizes=(256, 512)), rounds=1, iterations=1
+    )
+    exp.verify(rows)
+    write_result(
+        "fig12",
+        "Fig. 12: NAMD/JETS utilization — paper: near 90%",
+        rows_to_table(rows, ["alloc", "util", "jobs", "span_s"]),
+    )

@@ -1,0 +1,30 @@
+"""Bench: Fig. 13 — NAMD full-batch load level.
+
+Paper: busy cores over time show ramp-up, a plateau near capacity, and a
+long tail as the batch winds down.
+"""
+
+from repro.experiments import fig12_namd_util as exp
+from repro.experiments.common import rows_to_table
+from repro.metrics.stats import ascii_series
+
+from conftest import write_result
+
+
+def test_fig13_load_level(benchmark):
+    def run():
+        rows = exp.run(alloc_sizes=(256,), keep_platform=True)
+        return rows[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    load = exp.load_level(row["report"], sample_dt=30.0)
+    exp.verify_load(load, row["alloc"])
+    spark = ascii_series(
+        [(r["t"], r["busy_cores"]) for r in load], label="busy cores"
+    )
+    write_result(
+        "fig13",
+        "Fig. 13: NAMD load level — paper: ramp, plateau near capacity, long tail",
+        rows_to_table(load[:: max(1, len(load) // 24)], ["t", "busy_cores"])
+        + "\n" + spark,
+    )

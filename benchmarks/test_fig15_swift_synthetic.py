@@ -1,0 +1,29 @@
+"""Bench: Fig. 15 — Swift/Coasters synthetic MPI workloads on Eureka.
+
+Paper: utilization decreases with task node count and PPN (filesystem
+delays from repeated binary reads) for 10-s MPI tasks.
+"""
+
+from repro.experiments import fig15_swift_synthetic as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_fig15_swift_synthetic(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run(
+            alloc_sizes=(16, 32, 64),
+            nodes_per_job=(1, 2, 4),
+            ppns=(1, 4, 8),
+            jobs_per_node=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    exp.verify(rows)
+    write_result(
+        "fig15",
+        "Fig. 15: Swift/Coasters synthetic workload — paper: util falls with size & PPN",
+        rows_to_table(rows, ["alloc", "nodes_per_job", "ppn", "world", "util", "jobs"]),
+    )

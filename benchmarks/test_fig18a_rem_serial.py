@@ -1,0 +1,25 @@
+"""Bench: Fig. 18a — REM/Swift, single-process segments.
+
+Paper: utilization declines with allocation size (GPFS small-file
+contention), down to 85.4 % at 64 nodes.
+"""
+
+from repro.experiments import fig18_rem as exp
+from repro.experiments.common import check, rows_to_table
+
+from conftest import write_result
+
+
+def test_fig18a_rem_serial(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_serial(alloc_sizes=(4, 8, 16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    check(rows[-1]["util"] < rows[0]["util"], "utilization declines (18a)")
+    check(rows[-1]["util"] > 0.7, "stays high in absolute terms (18a)")
+    write_result(
+        "fig18a",
+        "Fig. 18a: REM/Swift serial — paper: declines to 85.4% at 64 nodes",
+        rows_to_table(rows, ["alloc", "util", "segments", "acceptance", "failures"]),
+    )

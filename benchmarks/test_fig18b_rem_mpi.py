@@ -1,0 +1,26 @@
+"""Bench: Fig. 18b — REM/Swift, MPI segments (PPN 8).
+
+Paper: utilization roughly flat, 92.7-95.6 %, across 8-64 node
+allocations; MPI does not constrain utilization vs the serial case.
+"""
+
+from repro.experiments import fig18_rem as exp
+from repro.experiments.common import check, rows_to_table
+
+from conftest import write_result
+
+
+def test_fig18b_rem_mpi(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp.run_mpi(alloc_sizes=(8, 16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    utils = [r["util"] for r in rows]
+    check(max(utils) - min(utils) < 0.12, "utilization roughly flat (18b)")
+    check(min(utils) > 0.8, "utilization stays high (18b)")
+    write_result(
+        "fig18b",
+        "Fig. 18b: REM/Swift MPI — paper: flat 92.7-95.6%",
+        rows_to_table(rows, ["alloc", "util", "segments", "acceptance", "failures"]),
+    )

@@ -1,0 +1,29 @@
+"""Bench: the Section 3 REM capacity requirement.
+
+Paper: the scheduler must sustain 6.4 MPI executions/s (~1,638 process
+launches/s) to keep 64 concurrent 256-core NAMD replicas busy.
+"""
+
+from repro.experiments import capacity as exp
+from repro.experiments.common import rows_to_table
+
+from conftest import write_result
+
+
+def test_req_capacity(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=8, rounds=4), rounds=1, iterations=1
+    )
+    exp.verify(result)
+    write_result(
+        "capacity",
+        "§3 capacity requirement (REM-shaped load, scale=8)",
+        rows_to_table(
+            [result],
+            [
+                "nodes", "job_shape", "concurrent",
+                "measured_execs_per_s", "required_execs_per_s",
+                "measured_procs_per_s", "utilization",
+            ],
+        ),
+    )

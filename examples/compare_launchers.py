@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare JETS against the systems the paper positions it against.
+
+Runs the same batch of short MPI jobs through:
+  * JETS (pilot workers + Hydra launcher=manual),
+  * the Fig. 7 shell-script loop (mpiexec per job, serial),
+  * an IPS-style pool manager (native launcher, placement mispredictions),
+and shows Falkon rejecting the MPI workload outright (it is serial-only),
+plus IPS refusing the BG/P (no native launcher path) — the two gaps that
+motivated JETS (Section 2).
+
+Run:  python examples/compare_launchers.py
+"""
+
+from repro import Simulation, TaskList
+from repro.apps.synthetic import BarrierSleepBarrier
+from repro.baselines import (
+    FalkonSimulation,
+    FalkonUnsupportedError,
+    IpsUnsupportedError,
+    run_ips_batch,
+    run_shellscript_batch,
+)
+from repro.cluster.machine import breadboard, surveyor
+from repro.core.tasklist import JobSpec
+
+
+def make_jobs(count: int) -> list[JobSpec]:
+    return [
+        JobSpec(program=BarrierSleepBarrier(2.0), nodes=4, ppn=1, mpi=True)
+        for _ in range(count)
+    ]
+
+
+def main() -> None:
+    machine = breadboard(nodes=32)
+    n_jobs = 48
+
+    jets = Simulation(machine).run_standalone(
+        TaskList(make_jobs(n_jobs)), allocation_nodes=32
+    )
+    shell = run_shellscript_batch(
+        machine, make_jobs(n_jobs), allocation_nodes=32
+    )
+    ips = run_ips_batch(machine, make_jobs(n_jobs), allocation_nodes=32)
+
+    print(f"{n_jobs} × (4-node, 2-s) MPI jobs on a 32-node x86 cluster:")
+    print(f"  {'system':<14} {'utilization':>12} {'makespan':>10}")
+    print(f"  {'JETS':<14} {jets.utilization:>11.1%} {jets.span:>9.1f}s")
+    print(f"  {'IPS-style':<14} {ips.utilization:>11.1%} {ips.span:>9.1f}s"
+          f"   ({ips.mispredictions} placement mispredictions)")
+    print(f"  {'shell script':<14} {shell.utilization:>11.1%} "
+          f"{shell.span:>9.1f}s   (one job at a time)")
+
+    print("\ncapability gaps the paper identifies:")
+    try:
+        FalkonSimulation(machine).run_batch(make_jobs(2))
+    except FalkonUnsupportedError as exc:
+        print(f"  Falkon : {exc}")
+    try:
+        run_ips_batch(surveyor(64), make_jobs(2))
+    except IpsUnsupportedError as exc:
+        print(f"  IPS    : {exc}")
+
+    assert jets.utilization > ips.utilization > shell.utilization
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Applications: synthetic benchmarks, NAMD cost model, mini-MD, REM."""
+
+from .namd import NAMD_IMAGE, NamdCostModel, NamdProgram, namd_factory
+from .synthetic import (
+    BarrierSleepBarrier,
+    NoopProgram,
+    PingPongProgram,
+    SleepProgram,
+    SwiftSyntheticTask,
+    default_registry,
+)
+
+__all__ = [
+    "BarrierSleepBarrier",
+    "NAMD_IMAGE",
+    "NamdCostModel",
+    "NamdProgram",
+    "NoopProgram",
+    "PingPongProgram",
+    "SleepProgram",
+    "SwiftSyntheticTask",
+    "default_registry",
+    "namd_factory",
+]

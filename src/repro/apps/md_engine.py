@@ -1,0 +1,187 @@
+"""MiniMD: a real molecular-dynamics engine (the NAMD stand-in physics).
+
+A compact but genuine MD code in reduced Lennard-Jones units: truncated &
+shifted LJ potential with minimum-image periodic boundaries, velocity
+Verlet integration, and a Langevin thermostat.  Vectorized with numpy
+(O(N²) force evaluation — appropriate for the few-hundred-atom systems
+the examples and property tests use).
+
+This engine supplies the *correctness* half of the NAMD substitution
+(DESIGN.md §2): replica-exchange acceptance, energy bookkeeping, and
+temperature control are computed for real, while the performance figures
+use the calibrated cost model in :mod:`repro.apps.namd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MiniMD", "MdSnapshot"]
+
+
+@dataclass
+class MdSnapshot:
+    """Restart file contents: positions, velocities, box, temperature."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    box: float
+    temperature: float
+
+    def copy(self) -> "MdSnapshot":
+        """Deep copy (restart files are independent of live state)."""
+        return MdSnapshot(
+            self.positions.copy(),
+            self.velocities.copy(),
+            self.box,
+            self.temperature,
+        )
+
+
+class MiniMD:
+    """An NVT Lennard-Jones fluid.
+
+    Args:
+        n_atoms: number of atoms (placed on a cubic lattice initially).
+        density: reduced number density (sets the box size).
+        temperature: reduced target temperature.
+        dt: integration timestep.
+        cutoff: LJ cutoff radius (potential is shifted to 0 there).
+        gamma: Langevin friction (0 = pure NVE velocity Verlet).
+        seed: RNG seed for initial velocities and the thermostat.
+    """
+
+    def __init__(
+        self,
+        n_atoms: int = 64,
+        density: float = 0.7,
+        temperature: float = 1.0,
+        dt: float = 0.004,
+        cutoff: float = 2.5,
+        gamma: float = 0.5,
+        seed: int = 0,
+    ):
+        if n_atoms < 2:
+            raise ValueError("need at least two atoms")
+        if density <= 0 or temperature <= 0 or dt <= 0:
+            raise ValueError("density, temperature and dt must be positive")
+        self.n = n_atoms
+        self.dt = dt
+        self.cutoff = cutoff
+        self.gamma = gamma
+        self.temperature = temperature
+        self.rng = np.random.default_rng(seed)
+        self.box = (n_atoms / density) ** (1.0 / 3.0)
+        if self.box < 2 * cutoff:
+            # Keep minimum-image convention valid.
+            self.cutoff = self.box / 2.001
+        self.x = self._lattice()
+        self.v = self._maxwell(temperature)
+        self.steps_taken = 0
+        # Shift so V(cutoff) = 0 (removes the truncation discontinuity).
+        sr6 = (1.0 / self.cutoff) ** 6
+        self._vshift = 4.0 * (sr6 * sr6 - sr6)
+        self._f, self._pe = self._forces()
+
+    # -- setup -------------------------------------------------------------------
+
+    def _lattice(self) -> np.ndarray:
+        per_side = int(np.ceil(self.n ** (1.0 / 3.0)))
+        spacing = self.box / per_side
+        grid = np.arange(per_side) * spacing + spacing / 2
+        pts = np.array(np.meshgrid(grid, grid, grid)).T.reshape(-1, 3)
+        return pts[: self.n].copy()
+
+    def _maxwell(self, temperature: float) -> np.ndarray:
+        v = self.rng.normal(0.0, np.sqrt(temperature), size=(self.n, 3))
+        v -= v.mean(axis=0)  # zero net momentum
+        return v
+
+    # -- forces & energies ----------------------------------------------------------
+
+    def _forces(self) -> tuple[np.ndarray, float]:
+        """LJ forces and potential energy (minimum image, O(N²))."""
+        delta = self.x[:, None, :] - self.x[None, :, :]
+        delta -= self.box * np.round(delta / self.box)
+        r2 = np.einsum("ijk,ijk->ij", delta, delta)
+        np.fill_diagonal(r2, np.inf)
+        mask = r2 < self.cutoff**2
+        inv_r2 = np.where(mask, 1.0 / r2, 0.0)
+        inv_r6 = inv_r2**3
+        # V = 4 (r^-12 - r^-6) - shift ;  F = 24 (2 r^-12 - r^-6) / r² · Δ
+        pe = float(
+            0.5 * np.sum(np.where(mask, 4.0 * (inv_r6**2 - inv_r6) - self._vshift, 0.0))
+        )
+        coef = 24.0 * (2.0 * inv_r6**2 - inv_r6) * inv_r2
+        forces = np.einsum("ij,ijk->ik", coef, delta)
+        return forces, pe
+
+    def potential_energy(self) -> float:
+        """Current potential energy (from the cached force evaluation)."""
+        return self._pe
+
+    def kinetic_energy(self) -> float:
+        """Current kinetic energy ½ Σ v²."""
+        return float(0.5 * np.sum(self.v**2))
+
+    def total_energy(self) -> float:
+        """Kinetic + potential."""
+        return self.kinetic_energy() + self.potential_energy()
+
+    def instantaneous_temperature(self) -> float:
+        """Kinetic temperature 2K / (3N − 3) (COM momentum removed)."""
+        dof = 3 * self.n - 3
+        return 2.0 * self.kinetic_energy() / dof
+
+    # -- dynamics --------------------------------------------------------------------
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance ``n_steps`` of velocity Verlet (+ Langevin if gamma>0)."""
+        dt = self.dt
+        for _ in range(n_steps):
+            if self.gamma > 0.0:
+                self._langevin_half_kick()
+            self.v += 0.5 * dt * self._f
+            self.x = (self.x + dt * self.v) % self.box
+            self._f, self._pe = self._forces()
+            self.v += 0.5 * dt * self._f
+            if self.gamma > 0.0:
+                self._langevin_half_kick()
+            self.steps_taken += 1
+
+    def _langevin_half_kick(self) -> None:
+        c1 = np.exp(-self.gamma * self.dt / 2.0)
+        c2 = np.sqrt((1.0 - c1 * c1) * self.temperature)
+        self.v = c1 * self.v + c2 * self.rng.normal(size=(self.n, 3))
+
+    # -- REM support --------------------------------------------------------------------
+
+    def set_temperature(self, temperature: float, rescale: bool = True) -> None:
+        """Change the thermostat target; optionally rescale velocities.
+
+        REM temperature swaps rescale velocities by √(T_new/T_old), the
+        standard Sugita–Okamoto prescription.
+        """
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if rescale and self.temperature > 0:
+            self.v *= np.sqrt(temperature / self.temperature)
+        self.temperature = temperature
+
+    def snapshot(self) -> MdSnapshot:
+        """Write a restart file."""
+        return MdSnapshot(
+            self.x.copy(), self.v.copy(), self.box, self.temperature
+        )
+
+    def restore(self, snap: MdSnapshot) -> None:
+        """Restart from a snapshot (recomputes forces)."""
+        if snap.positions.shape != (self.n, 3):
+            raise ValueError("snapshot size mismatch")
+        self.x = snap.positions.copy() % self.box
+        self.v = snap.velocities.copy()
+        self.temperature = snap.temperature
+        self._f, self._pe = self._forces()

@@ -1,0 +1,20 @@
+"""Baseline systems the paper compares JETS against."""
+
+from .falkon import FalkonSimulation, FalkonUnsupportedError
+from .ips import IpsConfig, IpsReport, IpsUnsupportedError, run_ips_batch
+from .shellscript import (
+    ShellScriptConfig,
+    ShellScriptReport,
+    run_shellscript_batch,
+)
+
+__all__ = [
+    "FalkonSimulation",
+    "FalkonUnsupportedError",
+    "IpsConfig",
+    "IpsReport",
+    "IpsUnsupportedError",
+    "ShellScriptConfig",
+    "ShellScriptReport",
+    "run_shellscript_batch",
+]

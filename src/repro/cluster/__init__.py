@@ -1,0 +1,27 @@
+"""Cluster substrate: machines, nodes, platforms, batch scheduling."""
+
+from .batch import Allocation, AllocationError, BatchScheduler
+from .machine import (
+    MachineSpec,
+    breadboard,
+    eureka,
+    generic_cluster,
+    intrepid,
+    surveyor,
+)
+from .node import Node
+from .platform import Platform
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "BatchScheduler",
+    "MachineSpec",
+    "Node",
+    "Platform",
+    "breadboard",
+    "eureka",
+    "generic_cluster",
+    "intrepid",
+    "surveyor",
+]

@@ -1,0 +1,161 @@
+"""Batch scheduler (Cobalt/PBS model) and allocations.
+
+JETS assumes one *large* allocation obtained from the native scheduler
+(model step ① in the paper's Fig. 1); pilot workers run inside it.  This
+module models exactly the scheduler behaviours the paper complains about
+in §1: queue wait, multi-minute boot, fixed walltime, and site minimum
+allocation sizes — which is why per-task scheduler submission (the
+baseline) is so much slower than JETS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simkernel import Environment, Event, Resource
+from .node import Node
+from .platform import Platform
+
+__all__ = ["Allocation", "BatchScheduler", "AllocationError"]
+
+
+class AllocationError(Exception):
+    """Request violates scheduler policy (e.g. below site minimum)."""
+
+
+@dataclass
+class Allocation:
+    """A granted block of nodes with a walltime limit."""
+
+    nodes: list[Node]
+    start_time: float
+    walltime: float
+    expired: Event
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the allocation."""
+        return len(self.nodes)
+
+    @property
+    def end_time(self) -> float:
+        """Absolute time the allocation expires."""
+        return self.start_time + self.walltime
+
+    def remaining(self, now: float) -> float:
+        """Walltime remaining at ``now``."""
+        return max(0.0, self.end_time - now)
+
+
+class BatchScheduler:
+    """Cobalt/PBS-like scheduler over a platform's nodes.
+
+    Grants FIFO allocations from the free-node pool; each grant pays the
+    machine's boot delay (compute-node kernel boot — minutes on the BG/P).
+    Releases happen on :meth:`release` or automatically at walltime expiry.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        queue_wait: float = 0.0,
+        boot_delay: Optional[float] = None,
+        queue_wait_fn=None,
+    ):
+        self.platform = platform
+        self.env: Environment = platform.env
+        self.queue_wait = queue_wait
+        #: Optional size-dependent queue model: ``f(nodes) -> seconds``.
+        #: Real queues make large requests wait disproportionately long,
+        #: which is what the Coasters "spectrum" allocator exploits (§7).
+        self.queue_wait_fn = queue_wait_fn
+        self.boot_delay = (
+            platform.spec.allocation_boot if boot_delay is None else boot_delay
+        )
+        # Free-node accounting: a Resource unit per node, claimed per grant.
+        self._pool = Resource(self.env, platform.spec.nodes)
+        self._next_free = 0
+        self._free_ids: list[int] = list(range(platform.spec.nodes))
+        self._live: list[Allocation] = []
+
+    @property
+    def free_nodes(self) -> int:
+        """Number of currently unallocated nodes."""
+        return len(self._free_ids)
+
+    def submit(self, nodes: int, walltime: float) -> Generator:
+        """Request an allocation (sim-process generator; returns Allocation).
+
+        Raises :class:`AllocationError` immediately for policy violations.
+        """
+        spec = self.platform.spec
+        if nodes <= 0:
+            raise AllocationError("allocation must request at least one node")
+        if nodes > spec.nodes:
+            raise AllocationError(
+                f"requested {nodes} nodes; machine has {spec.nodes}"
+            )
+        if spec.min_alloc_nodes is not None and nodes < spec.min_alloc_nodes:
+            raise AllocationError(
+                f"site policy: minimum allocation is {spec.min_alloc_nodes} "
+                f"nodes (requested {nodes})"
+            )
+        if walltime <= 0:
+            raise AllocationError("walltime must be positive")
+
+        # Queue wait: time spent behind other users (a knob, not modelled
+        # in detail — the paper's point is that it is unpredictable).
+        wait = self.queue_wait
+        if self.queue_wait_fn is not None:
+            wait += self.queue_wait_fn(nodes)
+        if wait:
+            yield self.env.timeout(wait)
+
+        # Wait until enough nodes are free, then claim them FIFO.
+        reqs = [self._pool.request() for _ in range(nodes)]
+        for r in reqs:
+            yield r
+        ids = [self._free_ids.pop(0) for _ in range(nodes)]
+
+        # Boot the partition (ZeptoOS adds its own overhead).
+        boot = self.boot_delay + self.platform.spec.os_config.boot_overhead
+        if boot:
+            yield self.env.timeout(boot)
+
+        alloc = Allocation(
+            nodes=[self.platform.node(i) for i in ids],
+            start_time=self.env.now,
+            walltime=walltime,
+            expired=self.env.event(),
+        )
+        alloc._requests = reqs  # type: ignore[attr-defined]
+        alloc._ids = ids  # type: ignore[attr-defined]
+        self._live.append(alloc)
+        self.platform.trace.log(
+            "allocation.start", {"nodes": nodes, "walltime": walltime}
+        )
+        self.env.process(self._expiry(alloc), name="alloc-expiry")
+        return alloc
+
+    def _expiry(self, alloc: Allocation) -> Generator:
+        yield self.env.timeout(alloc.walltime)
+        if alloc in self._live:
+            self._release(alloc, reason="walltime")
+
+    def release(self, alloc: Allocation) -> None:
+        """Return an allocation's nodes to the free pool."""
+        if alloc in self._live:
+            self._release(alloc, reason="released")
+
+    def _release(self, alloc: Allocation, reason: str) -> None:
+        self._live.remove(alloc)
+        self._free_ids.extend(alloc._ids)  # type: ignore[attr-defined]
+        self._free_ids.sort()
+        for r in alloc._requests:  # type: ignore[attr-defined]
+            self._pool.release(r)
+        if not alloc.expired.triggered:
+            alloc.expired.succeed(reason)
+        self.platform.trace.log(
+            "allocation.end", {"nodes": alloc.size, "reason": reason}
+        )

@@ -1,0 +1,167 @@
+"""Machine specifications and presets for the paper's three testbeds.
+
+All calibration constants live here (see DESIGN.md §5).  The presets:
+
+* :func:`surveyor` — the IBM Blue Gene/P at Argonne used for Figs. 6, 8–13:
+  1,024 nodes × 4 cores (850 MHz PowerPC 450), 3D torus, ZeptoOS, PVFS.
+* :func:`breadboard` — x86 test cluster (Fig. 7): ethernet, local Linux.
+* :func:`eureka` — 100-node x86 cluster (Figs. 15, 18): 2× quad-core Xeon
+  E5405 per node (8 cores), GPFS.
+* :func:`generic_cluster` — a small configurable machine for tests/examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..netsim.fabric import ETHERNET, NATIVE_BGP, TCP_ZEPTO_BGP, FabricSpec
+from ..oslayer.filesystem import GPFS, PVFS, FilesystemSpec
+from ..oslayer.process import ProcessCostSpec
+from ..oslayer.zeptoos import LINUX, ZEPTO_TUNED, ZeptoConfig
+
+__all__ = [
+    "MachineSpec",
+    "surveyor",
+    "breadboard",
+    "eureka",
+    "generic_cluster",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a machine.
+
+    Attributes:
+        name: machine name for reports.
+        nodes: number of compute nodes.
+        cores_per_node: CPU cores per node.
+        topology: ``"torus"`` or ``"flat"``.
+        fabric_control: fabric used by control traffic and sockets-based MPI.
+        fabric_native: the vendor messaging fabric (Fig. 8 baseline); equal
+            to ``fabric_control`` on commodity clusters.
+        shared_fs: shared parallel filesystem spec.
+        os_config: compute-node OS capabilities.
+        process_costs: fork/exec cost model. On the BG/P this is large
+            (slow PowerPC cores + ZeptoOS exec path): the paper's Fig. 6
+            "ideal" local launch bound of ~7,000 proc/s across 4,096 cores
+            implies ~0.55 s per process start with 4 concurrent per node.
+        allocation_boot: time for a batch allocation to boot (s) —
+            "allocations may take on the order of minutes to boot" (§1).
+        min_alloc_nodes: site minimum allocation size (None = none);
+            Argonne production policy required 512 nodes (§3).
+        login_service_cpu: factor scaling costs of services run on the
+            login/submit host (1.0 = same speed as a compute node).
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    topology: str
+    fabric_control: FabricSpec
+    fabric_native: FabricSpec
+    shared_fs: FilesystemSpec
+    os_config: ZeptoConfig
+    process_costs: ProcessCostSpec
+    allocation_boot: float = 90.0
+    min_alloc_nodes: Optional[int] = None
+    login_service_cpu: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.topology not in ("torus", "flat"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+
+    @property
+    def total_cores(self) -> int:
+        """Total core count across the machine."""
+        return self.nodes * self.cores_per_node
+
+    def scaled(self, nodes: int) -> "MachineSpec":
+        """A copy of this machine with a different node count."""
+        return replace(self, nodes=nodes)
+
+
+def surveyor(nodes: int = 1024) -> MachineSpec:
+    """Blue Gene/P "Surveyor": 1 rack = 1,024 nodes × 4 cores (§6.1)."""
+    return MachineSpec(
+        name="surveyor-bgp",
+        nodes=nodes,
+        cores_per_node=4,
+        topology="torus",
+        fabric_control=TCP_ZEPTO_BGP,
+        fabric_native=NATIVE_BGP,
+        shared_fs=PVFS,
+        os_config=ZEPTO_TUNED,
+        # ~0.55 s per no-op process start (ZeptoOS exec on 850 MHz PPC450):
+        # yields the Fig. 6 "ideal" bound of ~7,400 launches/s on 4,096 cores.
+        process_costs=ProcessCostSpec(fork_exec=0.55, exit_cost=0.004),
+        allocation_boot=180.0,
+        min_alloc_nodes=None,
+        # The BG/P login node is a beefier PPC host but runs many services.
+        login_service_cpu=1.0,
+    )
+
+
+def intrepid(nodes: int = 40960) -> MachineSpec:
+    """Blue Gene/P "Intrepid": production machine with a 512-node minimum."""
+    return replace(surveyor(nodes), name="intrepid-bgp", min_alloc_nodes=512)
+
+
+def breadboard(nodes: int = 64) -> MachineSpec:
+    """x86 test cluster used for the Fig. 7 cluster-setting benchmark."""
+    return MachineSpec(
+        name="breadboard-x86",
+        nodes=nodes,
+        cores_per_node=8,
+        topology="flat",
+        fabric_control=ETHERNET,
+        fabric_native=ETHERNET,
+        shared_fs=GPFS,
+        os_config=LINUX,
+        process_costs=ProcessCostSpec(fork_exec=0.003, exit_cost=0.001),
+        allocation_boot=20.0,
+    )
+
+
+def eureka(nodes: int = 100) -> MachineSpec:
+    """Eureka: 100 nodes × two quad-core Xeon E5405 (Figs. 15, 18)."""
+    return MachineSpec(
+        name="eureka-x86",
+        nodes=nodes,
+        cores_per_node=8,
+        topology="flat",
+        fabric_control=ETHERNET,
+        fabric_native=ETHERNET,
+        shared_fs=GPFS,
+        os_config=LINUX,
+        process_costs=ProcessCostSpec(fork_exec=0.004, exit_cost=0.001),
+        allocation_boot=30.0,
+    )
+
+
+def generic_cluster(
+    nodes: int = 8,
+    cores_per_node: int = 4,
+    fork_exec: float = 0.002,
+) -> MachineSpec:
+    """A small, fast machine for unit tests and examples."""
+    return MachineSpec(
+        name="generic",
+        nodes=nodes,
+        cores_per_node=cores_per_node,
+        topology="flat",
+        fabric_control=ETHERNET,
+        fabric_native=ETHERNET,
+        shared_fs=GPFS,
+        os_config=LINUX,
+        process_costs=ProcessCostSpec(fork_exec=fork_exec),
+        allocation_boot=1.0,
+    )
+
+
+__all__.append("intrepid")

@@ -1,0 +1,40 @@
+"""The JETS middleware: dispatcher, workers, aggregation, fault tolerance."""
+
+from .aggregator import Aggregator, WorkerView
+from .dispatcher import CompletedJob, JetsDispatcher, JetsServiceConfig
+from .faults import FaultInjector
+from .jets import FaultSpec, JetsConfig, Simulation, StandaloneReport
+from .policies import (
+    BackfillPolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    QueuePolicy,
+    make_policy,
+)
+from .staging import StagingManager
+from .tasklist import JobSpec, TaskList, TaskListError
+from .worker import WORKER_IMAGE, WorkerAgent
+
+__all__ = [
+    "Aggregator",
+    "BackfillPolicy",
+    "CompletedJob",
+    "FaultInjector",
+    "FaultSpec",
+    "FifoPolicy",
+    "JetsConfig",
+    "JetsDispatcher",
+    "JetsServiceConfig",
+    "JobSpec",
+    "PriorityPolicy",
+    "QueuePolicy",
+    "Simulation",
+    "StagingManager",
+    "StandaloneReport",
+    "TaskList",
+    "TaskListError",
+    "WORKER_IMAGE",
+    "WorkerAgent",
+    "WorkerView",
+    "make_policy",
+]

@@ -1,0 +1,125 @@
+"""The ``jets`` command-line tool (stand-alone form, paper Section 5.1).
+
+Usage::
+
+    jets [--machine surveyor|breadboard|eureka|generic] [--nodes N]
+         [--slots S] [--policy fifo|priority|backfill]
+         [--grouping fifo|topology] [--no-staging]
+         [--faults INTERVAL] [--seed SEED] TASKFILE
+
+``TASKFILE`` uses the paper's input format, e.g.::
+
+    MPI: 4 namd2.sh input-1.pdb output-1.log
+    MPI: 8 mpi-bench 10.0
+    SERIAL: sleep 1.0
+
+The run executes on the selected *simulated* machine and prints the batch
+report (completion counts, Eq. 1 utilization, task rate, wire-up times).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..cluster.machine import breadboard, eureka, generic_cluster, surveyor
+from .jets import FaultSpec, JetsConfig, Simulation, service_config_for
+from .tasklist import TaskList, TaskListError
+
+__all__ = ["main", "build_parser"]
+
+_MACHINES = {
+    "surveyor": surveyor,
+    "breadboard": breadboard,
+    "eureka": eureka,
+    "generic": generic_cluster,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The jets CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="jets",
+        description="Run a task list under (simulated) stand-alone JETS.",
+    )
+    parser.add_argument("taskfile", help="task list file (MPI:/SERIAL: lines)")
+    parser.add_argument(
+        "--machine",
+        choices=sorted(_MACHINES),
+        default="generic",
+        help="machine preset (default: generic)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="allocation size in nodes"
+    )
+    parser.add_argument(
+        "--ppn", type=int, default=1, help="MPI processes per node"
+    )
+    parser.add_argument(
+        "--slots", type=int, default=None,
+        help="serial-task slots per worker (default: node core count)",
+    )
+    parser.add_argument(
+        "--policy", choices=("fifo", "priority", "backfill"), default="fifo"
+    )
+    parser.add_argument(
+        "--grouping", choices=("fifo", "topology"), default="fifo"
+    )
+    parser.add_argument(
+        "--no-staging", action="store_true",
+        help="skip staging binaries to node-local storage",
+    )
+    parser.add_argument(
+        "--faults", type=float, default=None, metavar="INTERVAL",
+        help="kill one random pilot every INTERVAL seconds",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--until", type=float, default=None,
+        help="cap simulated time (seconds after allocation start)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        with open(args.taskfile) as fh:
+            tasks = TaskList.from_text(fh.read(), ppn=args.ppn)
+    except OSError as exc:
+        print(f"jets: cannot read {args.taskfile}: {exc}", file=sys.stderr)
+        return 2
+    except TaskListError as exc:
+        print(f"jets: bad task list: {exc}", file=sys.stderr)
+        return 2
+
+    machine = _MACHINES[args.machine]()
+    if args.nodes is not None:
+        machine = machine.scaled(args.nodes)
+    service = service_config_for(
+        machine, policy=args.policy, grouping=args.grouping
+    )
+    config = JetsConfig(
+        service=service,
+        worker_slots=args.slots,
+        stage_binaries=not args.no_staging,
+    )
+    sim = Simulation(machine, config, seed=args.seed)
+    faults = FaultSpec(interval=args.faults) if args.faults else None
+    report = sim.run_standalone(tasks, faults=faults, until=args.until)
+
+    print(report.summary())
+    if report.jobs_failed:
+        print(f"jets: {report.jobs_failed} jobs failed permanently:",
+              file=sys.stderr)
+        for c in report.completed:
+            if not c.ok:
+                print(f"  {c.job.job_id}: {c.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

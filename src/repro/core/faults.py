@@ -1,0 +1,64 @@
+"""Fault injection for the Section 6.1.5 resilience experiments.
+
+"A fault injection script was run on the submit site that terminated
+randomly selected pilot jobs, one at a time, at regular 10-s intervals.
+Because of skew among the application tasks, this could result in a worker
+being terminated during or between application task executions."
+
+:class:`FaultInjector` reproduces that script against a set of
+:class:`~repro.core.worker.WorkerAgent` instances; detection and recovery
+(heartbeat timeout, socket close, job resubmission) live in the dispatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..cluster.platform import Platform
+from ..simkernel import Process
+from .worker import WorkerAgent
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Kills one randomly selected live worker per interval."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        workers: Sequence[WorkerAgent],
+        interval: float = 10.0,
+        start_after: float = 0.0,
+        rng_stream: str = "faults",
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.platform = platform
+        self.workers = list(workers)
+        self.interval = interval
+        self.start_after = start_after
+        self.rng = platform.rng.stream(rng_stream)
+        self.kills: list[tuple[float, int]] = []
+        self._proc: Process | None = None
+
+    def start(self) -> Process:
+        """Begin injecting faults (runs until no workers remain alive)."""
+        self._proc = self.platform.env.process(self._run(), name="fault-inj")
+        return self._proc
+
+    def _run(self) -> Generator:
+        env = self.platform.env
+        if self.start_after:
+            yield env.timeout(self.start_after)
+        while True:
+            yield env.timeout(self.interval)
+            living = [w for w in self.workers if w.alive]
+            if not living:
+                return
+            victim = living[int(self.rng.integers(len(living)))]
+            victim.kill()
+            self.kills.append((env.now, victim.worker_id))
+            self.platform.trace.log(
+                "fault.kill", {"worker": victim.worker_id}
+            )

@@ -1,0 +1,232 @@
+"""The JETS pilot worker agent.
+
+One agent runs on each compute node inside the batch allocation (started by
+the provided allocation scripts, Fig. 4 step ②).  It is persistent —
+"capable of executing many tasks as a pilot job" — and:
+
+* stages the configured file list to node-local storage at start-up,
+* registers with the central dispatcher and announces one ``ready`` per
+  execution slot,
+* executes work it is handed: Hydra proxy launches for MPI jobs, or
+  direct single-process tasks (the Falkon-style mode),
+* heartbeats so the dispatcher can detect silent death,
+* tolerates being killed at any point (fault-injection benchmarks) by
+  closing its socket, which the dispatcher observes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from ..cluster.node import Node
+from ..cluster.platform import Platform
+from ..mpi.app import RankContext
+from ..mpi.comm import SimComm
+from ..mpi.hydra import PROXY_IMAGE, ProxyCommand, run_proxy
+from ..netsim.sockets import ConnectionClosed, Socket
+from ..oslayer.process import ExecutableImage
+from ..simkernel import Interrupt, Process
+from .staging import StagingManager
+from .tasklist import JobSpec
+
+__all__ = ["WorkerAgent", "WORKER_IMAGE"]
+
+#: The worker script/binary (itself staged or read from shared FS once).
+WORKER_IMAGE = ExecutableImage("jets-worker", 300 << 10)
+
+_worker_seq = itertools.count()
+
+
+class WorkerAgent:
+    """A pilot job on one node.
+
+    Args:
+        platform: the machine.
+        node: the node this agent occupies.
+        dispatcher_endpoint: where the JETS service listens.
+        service: dispatcher service name.
+        slots: concurrent task slots to advertise (default: node cores for
+            serial work; MPI jobs always claim the whole worker).
+        staging: optional staging manager run before registration.
+        heartbeat_interval: seconds between heartbeats (0 disables).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        node: Node,
+        dispatcher_endpoint: int,
+        service: str = "jets",
+        slots: Optional[int] = None,
+        staging: Optional[StagingManager] = None,
+        heartbeat_interval: float = 5.0,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.node = node
+        self.worker_id = next(_worker_seq)
+        self.dispatcher_endpoint = dispatcher_endpoint
+        self.service = service
+        self.slots = slots if slots is not None else node.n_cores
+        self.staging = staging
+        self.heartbeat_interval = heartbeat_interval
+        self.tasks_run = 0
+        self._sock: Optional[Socket] = None
+        self._children: list[Process] = []
+        self._main: Optional[Process] = None
+        self._alive = False
+
+    @property
+    def alive(self) -> bool:
+        """True while the agent's main loop is running."""
+        return self._alive
+
+    def start(self) -> Process:
+        """Launch the agent (as a non-core-claiming daemon on its node)."""
+        self._main = self.env.process(
+            self.node.exec_process(
+                WORKER_IMAGE, self._body, count_busy=False, claim_core=False
+            ),
+            name=f"worker{self.worker_id}",
+        )
+        return self._main
+
+    def kill(self) -> None:
+        """Fault injection: terminate the pilot (and its task processes)."""
+        if self._main is not None and self._main.is_alive:
+            self._main.interrupt("fault injection")
+
+    # -- agent internals ------------------------------------------------------
+
+    def _body(self) -> Generator:
+        self._alive = True
+        try:
+            if self.staging is not None:
+                yield from self.staging.stage_to(self.node)
+            self._sock = yield from self.platform.network.connect(
+                self.node.endpoint, self.dispatcher_endpoint, self.service
+            )
+            yield self._sock.send(
+                ("register", self.worker_id, self.node.node_id, self.slots),
+                256,
+            )
+            for _ in range(self.slots):
+                yield self._sock.send(("ready", self.worker_id), 64)
+            if self.heartbeat_interval > 0:
+                hb = self.env.process(self._heartbeat(), name="hb")
+            self.platform.trace.log(
+                "worker.start", {"worker": self.worker_id, "node": self.node.node_id}
+            )
+            while True:
+                msg = yield self._sock.recv()
+                kind = msg.payload[0]
+                if kind == "shutdown":
+                    break
+                elif kind == "run_proxy":
+                    _, cmd, program = msg.payload
+                    self._spawn(self._run_mpi(cmd, program))
+                elif kind == "run_task":
+                    _, job = msg.payload
+                    self._spawn(self._run_serial(job))
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"worker: unknown message {kind!r}")
+        except (Interrupt, ConnectionClosed) as exc:
+            self.platform.trace.log(
+                "worker.killed",
+                {"worker": self.worker_id, "cause": str(exc)},
+            )
+            for child in self._children:
+                if child.is_alive:
+                    try:
+                        child.interrupt("worker killed")
+                    except Exception:
+                        pass
+        finally:
+            self._alive = False
+            if self._sock is not None:
+                self._sock.close()
+            self.platform.trace.log("worker.stop", {"worker": self.worker_id})
+
+    def _spawn(self, gen: Generator) -> None:
+        proc = self.env.process(gen, name=f"w{self.worker_id}-task")
+        self._children.append(proc)
+        if len(self._children) > 2 * self.slots:
+            self._children = [c for c in self._children if c.is_alive]
+
+    def _heartbeat(self) -> Generator:
+        try:
+            while self._alive and self._sock is not None and not self._sock.closed:
+                yield self.env.timeout(self.heartbeat_interval)
+                if self._sock.closed:
+                    break
+                yield self._sock.send(("heartbeat", self.worker_id), 32)
+        except (ConnectionClosed, Interrupt):
+            pass
+
+    def _run_mpi(self, cmd: ProxyCommand, program) -> Generator:
+        status = 143
+        try:
+            status = yield from self.node.exec_process(
+                PROXY_IMAGE,
+                lambda: run_proxy(self.platform, self.node, cmd, program),
+                count_busy=False,
+                claim_core=False,
+            )
+        except Interrupt:
+            return
+        self.tasks_run += 1
+        yield from self._report(
+            cmd.job_id, status, whole_node=True,
+            extra_bytes=cmd.stage_out_bytes,
+        )
+
+    def _run_serial(self, job: JobSpec) -> Generator:
+        status = 0
+
+        def body() -> Generator:
+            comm = SimComm(self.env, self.platform.fabric, [self.node.endpoint])
+            ctx = RankContext(
+                env=self.env,
+                comm=comm,
+                rank=0,
+                size=1,
+                node=self.node,
+                job_id=job.job_id,
+            )
+            value = yield from job.program.run(ctx)
+            return value
+
+        try:
+            value = yield from self.node.exec_process(job.program.image, body)
+        except Interrupt:
+            return
+        self.tasks_run += 1
+        yield from self._report(
+            job.job_id, status, value=value,
+            extra_bytes=job.stage_out_bytes,
+        )
+
+    def _report(
+        self,
+        job_id: str,
+        status: int,
+        whole_node: bool = False,
+        value=None,
+        extra_bytes: int = 0,
+    ) -> Generator:
+        """Report task completion; MPI (whole-node) tasks release all slots
+        in one ``ready_all`` message, serial tasks release their one slot.
+        ``extra_bytes`` is the job's output-staging payload, shipped back
+        over the task connection (Coasters-style data movement)."""
+        if self._sock is None or self._sock.closed:
+            return
+        try:
+            yield self._sock.send(
+                ("done", self.worker_id, job_id, status, value),
+                128 + extra_bytes,
+            )
+            kind = "ready_all" if whole_node else "ready"
+            yield self._sock.send((kind, self.worker_id), 64)
+        except ConnectionClosed:
+            pass

@@ -1,0 +1,37 @@
+"""Shared experiment-harness plumbing.
+
+Every experiment module exposes ``run(...) -> list[dict]`` (rows shaped
+like the paper's figure) plus ``PAPER`` reference values and a
+``describe()`` string.  Benchmarks call ``run`` at reduced scale; the
+``main()`` entry points run the paper-scale configuration and print the
+table with paper-vs-measured columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..metrics.stats import ascii_table
+
+__all__ = ["print_rows", "rows_to_table", "check", "ShapeError"]
+
+
+class ShapeError(AssertionError):
+    """A reproduced result violates the paper's qualitative claim."""
+
+
+def rows_to_table(rows: Sequence[dict], columns: Sequence[str]) -> str:
+    """Render result rows as a fixed-width table."""
+    return ascii_table(columns, [[r.get(c, "") for c in columns] for r in rows])
+
+
+def print_rows(title: str, rows: Sequence[dict], columns: Sequence[str]) -> None:
+    """Print a titled result table (the harness output format)."""
+    print(f"\n== {title} ==")
+    print(rows_to_table(rows, columns))
+
+
+def check(condition: bool, claim: str) -> None:
+    """Assert a qualitative claim from the paper, with a readable message."""
+    if not condition:
+        raise ShapeError(f"paper claim violated: {claim}")

@@ -1,0 +1,92 @@
+"""Small statistics helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "histogram", "ascii_table", "ascii_series"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """Histogram as (lo, hi, count) rows — used for the Fig. 11 wall-time
+    distribution."""
+    arr = np.asarray(list(values), dtype=float)
+    counts, edges = np.histogram(arr, bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width table (the harnesses' report format)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[tuple[float, float]],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Tiny ASCII sparkline of a (time, value) series for bench output."""
+    if not series:
+        return f"{label}: (empty)"
+    values = [v for _t, v in series]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    marks = "▁▂▃▄▅▆▇█"
+    # Resample to `width` points.
+    idxs = [int(i * (len(values) - 1) / max(1, width - 1)) for i in range(min(width, len(values)))]
+    line = "".join(
+        marks[int((values[i] - lo) / span * (len(marks) - 1))] for i in idxs
+    )
+    return f"{label}[{lo:.3g}..{hi:.3g}]: {line}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,116 @@
+"""Timeline reconstruction from platform traces.
+
+Rebuilds the time-series plots of the paper's evaluation from trace
+records: running jobs and available nodes over time (Fig. 10), and busy
+cores over time — the "load level" of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..simkernel import Gauge, Trace
+
+__all__ = [
+    "step_series",
+    "running_jobs_series",
+    "available_workers_series",
+    "sample_series",
+    "gauge_to_arrays",
+]
+
+
+def step_series(
+    starts: list[float], ends: list[float]
+) -> list[tuple[float, int]]:
+    """Step function counting open intervals given start/end time lists."""
+    deltas = [(t, 1) for t in starts] + [(t, -1) for t in ends]
+    deltas.sort()
+    series: list[tuple[float, int]] = []
+    level = 0
+    for t, d in deltas:
+        level += d
+        if series and series[-1][0] == t:
+            series[-1] = (t, level)
+        else:
+            series.append((t, level))
+    return series
+
+
+def running_jobs_series(trace: Trace) -> list[tuple[float, int]]:
+    """Jobs in their application phase over time, from job.done records.
+
+    Uses the app_start/app_end stamps carried by ``job.done`` (and
+    ``job.failed``) trace entries; serial jobs (no stamps) fall back to
+    dispatch→done spans.
+    """
+    starts: list[float] = []
+    ends: list[float] = []
+    for rec in trace.records:
+        if rec.category in ("job.done", "job.failed"):
+            data = rec.data or {}
+            s, e = data.get("app_start"), data.get("app_end")
+            if s is not None and e is not None:
+                starts.append(s)
+                ends.append(e)
+    return step_series(starts, ends)
+
+
+def available_workers_series(
+    trace: Trace, initial: int = 0
+) -> list[tuple[float, int]]:
+    """Worker population over time from worker.start / worker.stop records.
+
+    ``worker.stop`` is logged exactly once per agent (normal shutdown or
+    kill), so it is the authoritative decrement; ``worker.lost`` is the
+    dispatcher's *detection* of the same death and is ignored here.
+    ``initial`` sets the level before the first record.
+    """
+    series: list[tuple[float, int]] = []
+    level = initial
+    events: list[tuple[float, int]] = []
+    for rec in trace.records:
+        if rec.category == "worker.start":
+            events.append((rec.time, 1))
+        elif rec.category == "worker.stop":
+            events.append((rec.time, -1))
+    events.sort()
+    for t, d in events:
+        level += d
+        if series and series[-1][0] == t:
+            series[-1] = (t, level)
+        else:
+            series.append((t, level))
+    return series
+
+
+def sample_series(
+    series: list[tuple[float, float]],
+    t0: float,
+    t1: float,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resample a step series onto a regular grid (for plotting/benches)."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    times = np.arange(t0, t1 + dt / 2, dt)
+    values = np.zeros_like(times)
+    if not series:
+        return times, values
+    st = np.array([t for t, _v in series])
+    sv = np.array([v for _t, v in series])
+    idx = np.searchsorted(st, times, side="right") - 1
+    mask = idx >= 0
+    values[mask] = sv[idx[mask]]
+    return times, values
+
+
+def gauge_to_arrays(gauge: Gauge) -> tuple[np.ndarray, np.ndarray]:
+    """A gauge's breakpoints as numpy arrays (times, values)."""
+    samples = gauge.series()
+    return (
+        np.array([t for t, _v in samples]),
+        np.array([v for _t, v in samples]),
+    )

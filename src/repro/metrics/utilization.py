@@ -1,0 +1,93 @@
+"""Utilization metrics — the paper's Eq. (1).
+
+::
+
+    utilization = duration × jobs × n / (allocation_size × time)
+
+where ``duration`` is the nominal task duration, ``jobs`` the number of
+completed application invocations, ``n`` the nodes per job,
+``allocation_size`` the allocation's node count, and ``time`` the total
+allocation wall time.  "Any long tail effect is charged against the
+utilization" (Section 6.2.2) — i.e. ``time`` runs to the *last* completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["equation1", "UtilizationLedger"]
+
+
+def equation1(
+    duration: float, jobs: int, n: int, allocation_size: int, time: float
+) -> float:
+    """The paper's Eq. (1); returns 0 for an empty/zero-length run."""
+    if allocation_size <= 0:
+        raise ValueError("allocation_size must be positive")
+    if time <= 0:
+        return 0.0
+    return (duration * jobs * n) / (allocation_size * time)
+
+
+@dataclass
+class _Entry:
+    duration: float
+    n: int
+    t_start: float
+    t_end: float
+
+
+class UtilizationLedger:
+    """Accumulates per-job records and evaluates Eq. (1) over the batch.
+
+    Handles mixed job shapes by summing ``duration × n`` per job — which
+    reduces to Eq. (1) exactly when all jobs share one shape, as in each
+    of the paper's measurement series.
+    """
+
+    def __init__(self, allocation_size: int):
+        if allocation_size <= 0:
+            raise ValueError("allocation_size must be positive")
+        self.allocation_size = allocation_size
+        self._entries: list[_Entry] = []
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+
+    def add(
+        self,
+        duration: float,
+        n: int,
+        t_start: float,
+        t_end: float,
+    ) -> None:
+        """Record one completed job (nominal duration, node count, span)."""
+        if t_end < t_start:
+            raise ValueError("job ends before it starts")
+        self._entries.append(_Entry(duration, n, t_start, t_end))
+        self._t0 = t_start if self._t0 is None else min(self._t0, t_start)
+        self._t1 = t_end if self._t1 is None else max(self._t1, t_end)
+
+    @property
+    def jobs(self) -> int:
+        """Number of recorded jobs."""
+        return len(self._entries)
+
+    @property
+    def span(self) -> float:
+        """Wall time from first dispatch to last completion."""
+        if self._t0 is None or self._t1 is None:
+            return 0.0
+        return self._t1 - self._t0
+
+    def utilization(self, time: Optional[float] = None) -> float:
+        """Eq. (1) over the batch; ``time`` defaults to the recorded span."""
+        t = self.span if time is None else time
+        if t <= 0 or not self._entries:
+            return 0.0
+        useful = sum(e.duration * e.n for e in self._entries)
+        return useful / (self.allocation_size * t)
+
+    def node_seconds(self) -> float:
+        """Total useful node-seconds (Σ duration × n)."""
+        return sum(e.duration * e.n for e in self._entries)

@@ -1,0 +1,251 @@
+"""MPI communicator executing over a simulated fabric.
+
+Implements the subset of MPI the paper's workloads use — point-to-point
+send/recv with tag matching and the collectives ``barrier``, ``bcast``,
+``allgather`` and ``allreduce`` — using the *actual distributed
+algorithms* (dissemination barrier, binomial-tree broadcast, ring
+allgather), so collective costs emerge from individual messages over the
+fabric rather than closed-form shortcuts.  The Fig. 8 ping-pong benchmark
+measures exactly these paths under the native and TCP fabrics.
+
+SPMD discipline applies as in real MPI: every rank of a communicator must
+invoke the same collectives in the same order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, Optional
+
+from ..netsim.fabric import Fabric
+from ..simkernel import Environment, FilterStore
+
+__all__ = ["SimComm", "MpiAbort"]
+
+
+class MpiAbort(Exception):
+    """Raised into ranks when the job is torn down (e.g. node failure)."""
+
+
+class SimComm:
+    """A communicator binding ``size`` ranks to fabric endpoints.
+
+    Args:
+        env: simulation environment.
+        fabric: fabric used for all traffic (TCP or native).
+        endpoints: per-rank endpoint ids (node ids); multiple ranks may
+            share a node, in which case traffic between them is loopback.
+    """
+
+    #: Eager/rendezvous threshold: messages above this pay an extra
+    #: zero-byte round trip (request-to-send / clear-to-send).
+    RENDEZVOUS_BYTES = 256 * 1024
+
+    def __init__(self, env: Environment, fabric: Fabric, endpoints: list[int]):
+        if not endpoints:
+            raise ValueError("communicator needs at least one rank")
+        self.env = env
+        self.fabric = fabric
+        self.endpoints = list(endpoints)
+        self.size = len(endpoints)
+        self._mailboxes = [FilterStore(env) for _ in range(self.size)]
+        self._coll_seq = [0] * self.size
+        self._aborted = False
+
+    # -- point to point ------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        nbytes: int = 0,
+        tag: Any = 0,
+    ) -> Generator:
+        """Blocking-send generator for rank ``src`` to rank ``dst``.
+
+        Charges the sender's software overhead; delivery happens
+        transfer-time later.  Rendezvous-size messages additionally charge
+        a zero-byte handshake round trip to the sender.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if self._aborted:
+            raise MpiAbort("communicator torn down")
+        a, b = self.endpoints[src], self.endpoints[dst]
+        if nbytes > self.RENDEZVOUS_BYTES:
+            yield self.env.timeout(self.fabric.rtt(a, b, 0))
+        t = self.fabric.transfer_time(a, b, nbytes)
+        box = self._mailboxes[dst]
+        deliver = self.env.timeout(t)
+        deliver._add_callback(
+            lambda _e: box.put((src, tag, payload, nbytes))
+        )
+        # Sender returns after local injection cost.
+        yield self.env.timeout(self.fabric.spec.sw_overhead)
+
+    def recv(
+        self,
+        rank: int,
+        source: Optional[int] = None,
+        tag: Any = None,
+    ) -> Generator:
+        """Blocking-receive generator; returns ``(source, tag, payload)``.
+
+        ``source=None`` / ``tag=None`` act as MPI_ANY_SOURCE / MPI_ANY_TAG.
+        """
+        self._check_rank(rank)
+        if self._aborted:
+            raise MpiAbort("communicator torn down")
+
+        def match(item) -> bool:
+            s, t, _p, _n = item
+            return (source is None or s == source) and (tag is None or t == tag)
+
+        item = yield self._mailboxes[rank].get(match)
+        s, t, payload, _n = item
+        return (s, t, payload)
+
+    def sendrecv(
+        self,
+        rank: int,
+        dst: int,
+        src: int,
+        payload: Any = None,
+        nbytes: int = 0,
+        tag: Any = 0,
+    ) -> Generator:
+        """Combined send+recv (send first, then wait) used by ring steps."""
+        yield from self.send(rank, dst, payload, nbytes, tag)
+        result = yield from self.recv(rank, source=src, tag=tag)
+        return result
+
+    # -- collectives ---------------------------------------------------------
+
+    def _next_op(self, rank: int, op: str) -> tuple:
+        seq = self._coll_seq[rank]
+        self._coll_seq[rank] += 1
+        return (op, seq)
+
+    def barrier(self, rank: int) -> Generator:
+        """Dissemination barrier: ceil(log2 n) rounds of paired messages."""
+        self._check_rank(rank)
+        opid = self._next_op(rank, "barrier")
+        n = self.size
+        if n == 1:
+            return
+        rounds = int(math.ceil(math.log2(n)))
+        for k in range(rounds):
+            dist = 1 << k
+            dst = (rank + dist) % n
+            src = (rank - dist) % n
+            yield from self.send(rank, dst, None, 1, tag=(opid, k))
+            yield from self.recv(rank, source=src, tag=(opid, k))
+
+    def bcast(
+        self, rank: int, root: int, payload: Any = None, nbytes: int = 0
+    ) -> Generator:
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        self._check_rank(rank)
+        self._check_rank(root)
+        opid = self._next_op(rank, "bcast")
+        n = self.size
+        rel = (rank - root) % n
+        value = payload
+        # MPICH binomial algorithm: receive once from the parent (lowest set
+        # bit of the relative rank), then forward to children top-down.
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                parent = (rank - mask) % n
+                _s, _t, value = yield from self.recv(
+                    rank, source=parent, tag=opid
+                )
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < n:
+                child = (rank + mask) % n
+                yield from self.send(rank, child, value, nbytes, tag=opid)
+            mask >>= 1
+        return value
+
+    def allgather(
+        self, rank: int, payload: Any = None, nbytes: int = 0
+    ) -> Generator:
+        """Ring allgather; returns the list of per-rank payloads."""
+        self._check_rank(rank)
+        opid = self._next_op(rank, "allgather")
+        n = self.size
+        values: list[Any] = [None] * n
+        values[rank] = payload
+        if n == 1:
+            return values
+        right = (rank + 1) % n
+        left = (rank - 1) % n
+        block = rank
+        for step in range(n - 1):
+            yield from self.send(
+                rank, right, (block, values[block]), nbytes, tag=(opid, step)
+            )
+            _s, _t, (idx, val) = yield from self.recv(
+                rank, source=left, tag=(opid, step)
+            )
+            values[idx] = val
+            block = idx
+        return values
+
+    def allreduce(
+        self, rank: int, value: float, op=None, nbytes: int = 8
+    ) -> Generator:
+        """Recursive-doubling allreduce for power-of-two-padded sizes.
+
+        ``op`` defaults to sum.  Non-power-of-two sizes fall back to
+        allgather+local-reduce (correct, slightly costlier — acceptable for
+        the small communicators in the paper's workloads).
+        """
+        self._check_rank(rank)
+        combine = op if op is not None else (lambda a, b: a + b)
+        n = self.size
+        if n & (n - 1) == 0:
+            opid = self._next_op(rank, "allreduce")
+            acc = value
+            k = 0
+            dist = 1
+            while dist < n:
+                peer = rank ^ dist
+                yield from self.send(rank, peer, acc, nbytes, tag=(opid, k))
+                _s, _t, other = yield from self.recv(
+                    rank, source=peer, tag=(opid, k)
+                )
+                acc = combine(acc, other)
+                dist <<= 1
+                k += 1
+            return acc
+        values = yield from self.allgather(rank, value, nbytes)
+        acc = values[0]
+        for v in values[1:]:
+            acc = combine(acc, v)
+        return acc
+
+    # -- teardown -------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Tear the communicator down; blocked ranks get :class:`MpiAbort`."""
+        if self._aborted:
+            return
+        self._aborted = True
+        for box in self._mailboxes:
+            for getter in list(box._getters):
+                box._getters.remove(getter)
+                getter.fail(MpiAbort("communicator torn down"))
+
+    @property
+    def aborted(self) -> bool:
+        """True once :meth:`abort` has been called."""
+        return self._aborted
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range (size {self.size})")

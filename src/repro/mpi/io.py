@@ -1,0 +1,173 @@
+"""MPI-IO model: collective, aggregated filesystem access.
+
+Section 1.2 of the paper argues that MPTC's key systems benefit over plain
+MTC is that tasks can use "powerful software implementations such as
+MPI-IO, which aggregate and optimize accesses to distributed and parallel
+filesystems ... given N MTC processes, the filesystem would be accessed by
+N clients; however, for 16-process MPTC tasks using MPI-IO, the number of
+clients would be N/16."  Section 7 plans to "experiment with MPI-IO from
+JETS-initiated MPTC workloads".
+
+This module implements that experiment's machinery: two-phase collective
+I/O over the simulated communicator and shared filesystem.
+
+* **Independent mode** (:func:`independent_write` / ``read``): every rank
+  opens its own stream to the shared FS — N clients, full contention.
+* **Collective mode** (:class:`CollectiveFile`): ranks exchange their
+  buffers with a subset of *aggregator* ranks over the interconnect
+  (fast), and only the aggregators touch the filesystem — N/k clients.
+
+The ``abl_mpiio`` benchmark shows the resulting contention reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..oslayer.filesystem import SharedFilesystem
+from .app import RankContext
+
+__all__ = [
+    "independent_write",
+    "independent_read",
+    "CollectiveFile",
+    "default_aggregators",
+]
+
+
+def independent_write(ctx: RankContext, nbytes: int) -> Generator:
+    """Plain POSIX-style write: this rank is its own filesystem client."""
+    fs: Optional[SharedFilesystem] = ctx.node.shared_fs
+    if fs is not None:
+        yield from fs.write(nbytes)
+
+
+def independent_read(ctx: RankContext, nbytes: int) -> Generator:
+    """Plain POSIX-style read: this rank is its own filesystem client."""
+    fs: Optional[SharedFilesystem] = ctx.node.shared_fs
+    if fs is not None:
+        yield from fs.read(nbytes)
+
+
+def default_aggregators(size: int, ranks_per_aggregator: int = 16) -> list[int]:
+    """ROMIO-style aggregator choice: every k-th rank (at least one)."""
+    if ranks_per_aggregator <= 0:
+        raise ValueError("ranks_per_aggregator must be positive")
+    return list(range(0, size, ranks_per_aggregator)) or [0]
+
+
+class CollectiveFile:
+    """A file opened collectively by every rank of a communicator.
+
+    Implements two-phase I/O: data is shuffled between compute ranks and
+    aggregator ranks over the message fabric; aggregators perform large
+    contiguous filesystem operations on everyone's behalf.
+
+    SPMD discipline: every rank must call :meth:`write_all` /
+    :meth:`read_all` with its own buffer size, like MPI_File_write_all.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        ranks_per_aggregator: int = 16,
+    ):
+        self.ctx = ctx
+        self.aggregators = default_aggregators(
+            ctx.size, ranks_per_aggregator
+        )
+        self._op = 0
+
+    @property
+    def is_aggregator(self) -> bool:
+        """Whether the calling rank performs filesystem operations."""
+        return self.ctx.rank in self.aggregators
+
+    def _my_aggregator(self) -> int:
+        """The aggregator responsible for this rank's data."""
+        # Contiguous assignment: rank r belongs to the aggregator whose
+        # index is floor(r / ranks_per_group) — derived from positions.
+        per = max(1, (self.ctx.size + len(self.aggregators) - 1) // len(self.aggregators))
+        idx = min(self.ctx.rank // per, len(self.aggregators) - 1)
+        return self.aggregators[idx]
+
+    def _members_of(self, aggregator: int) -> list[int]:
+        return [
+            r
+            for r in range(self.ctx.size)
+            if self.aggregators[
+                min(
+                    r
+                    // max(
+                        1,
+                        (self.ctx.size + len(self.aggregators) - 1)
+                        // len(self.aggregators),
+                    ),
+                    len(self.aggregators) - 1,
+                )
+            ]
+            == aggregator
+        ]
+
+    def write_all(self, nbytes: int) -> Generator:
+        """Collective write of ``nbytes`` from this rank (two-phase)."""
+        ctx = self.ctx
+        comm = ctx.comm
+        tag = ("mpiio-w", self._op)
+        self._op += 1
+        agg = self._my_aggregator()
+        if ctx.rank == agg:
+            members = self._members_of(agg)
+            total = nbytes
+            # Phase 1: gather the group's buffers over the interconnect.
+            for member in members:
+                if member == ctx.rank:
+                    continue
+                _s, _t, size = yield from comm.recv(
+                    ctx.rank, source=member, tag=tag
+                )
+                total += size
+            # Phase 2: one large contiguous filesystem write.
+            fs = ctx.node.shared_fs
+            if fs is not None:
+                yield from fs.write(total)
+            # Release the group.
+            for member in members:
+                if member != ctx.rank:
+                    yield from comm.send(ctx.rank, member, None, 1, tag=(tag, "done"))
+        else:
+            yield from comm.send(ctx.rank, agg, nbytes, nbytes, tag=tag)
+            yield from comm.recv(ctx.rank, source=agg, tag=(tag, "done"))
+
+    def read_all(self, nbytes: int) -> Generator:
+        """Collective read of ``nbytes`` into this rank (two-phase).
+
+        Returns the number of bytes delivered to this rank.
+        """
+        ctx = self.ctx
+        comm = ctx.comm
+        tag = ("mpiio-r", self._op)
+        self._op += 1
+        agg = self._my_aggregator()
+        if ctx.rank == agg:
+            members = self._members_of(agg)
+            sizes: dict[int, int] = {ctx.rank: nbytes}
+            for member in members:
+                if member == ctx.rank:
+                    continue
+                _s, _t, size = yield from comm.recv(
+                    ctx.rank, source=member, tag=tag
+                )
+                sizes[member] = size
+            fs = ctx.node.shared_fs
+            if fs is not None:
+                yield from fs.read(sum(sizes.values()))
+            for member in members:
+                if member != ctx.rank:
+                    yield from comm.send(
+                        ctx.rank, member, None, sizes[member], tag=(tag, "data")
+                    )
+            return nbytes
+        yield from comm.send(ctx.rank, agg, nbytes, 16, tag=tag)
+        yield from comm.recv(ctx.rank, source=agg, tag=(tag, "data"))
+        return nbytes

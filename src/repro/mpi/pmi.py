@@ -1,0 +1,90 @@
+"""Process Management Interface (PMI) model.
+
+Hydra's proxies expose PMI to the user processes: each rank *puts* its
+contact information into a key-value space, all ranks *fence*, and then
+every rank can *get* its peers' addresses and open direct connections.
+JETS relies on exactly this wire-up working over ZeptoOS sockets
+(Section 4.2); the PMI_RANK variable mentioned in Section 5.2 comes from
+this layer too.
+
+Costs of moving PMI messages are charged by the caller (the Hydra proxy /
+mpiexec protocol in :mod:`repro.mpi.hydra`); this module models the
+synchronization semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simkernel import Environment, Event
+
+__all__ = ["PmiKvs", "PmiError"]
+
+
+class PmiError(Exception):
+    """Protocol violation in the PMI exchange."""
+
+
+class PmiKvs:
+    """A PMI key-value space shared by ``size`` ranks, with fences.
+
+    ``fence(rank)`` returns an event that fires once every rank has entered
+    the fence; puts made before the fence are visible to gets after it
+    (the only ordering PMI guarantees).
+    """
+
+    def __init__(self, env: Environment, size: int):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.env = env
+        self.size = size
+        self._pending: dict[str, Any] = {}
+        self._committed: dict[str, Any] = {}
+        self._fence_waiters: list[Event] = []
+        self._fenced: set[int] = set()
+        self.fence_generation = 0
+
+    def put(self, rank: int, key: str, value: Any) -> None:
+        """Stage a key-value pair (visible after the next fence)."""
+        self._check_rank(rank)
+        if key in self._pending:
+            raise PmiError(f"duplicate PMI put for key {key!r}")
+        self._pending[key] = value
+
+    def get(self, rank: int, key: str) -> Any:
+        """Read a committed key; raises PmiError if unknown."""
+        self._check_rank(rank)
+        try:
+            return self._committed[key]
+        except KeyError:
+            raise PmiError(f"PMI get of unknown key {key!r}") from None
+
+    def has(self, key: str) -> bool:
+        """True if ``key`` has been committed by a completed fence."""
+        return key in self._committed
+
+    def fence(self, rank: int) -> Event:
+        """Enter the fence; the event fires when all ranks have entered."""
+        self._check_rank(rank)
+        if rank in self._fenced:
+            raise PmiError(f"rank {rank} entered the same fence twice")
+        self._fenced.add(rank)
+        ev = self.env.event()
+        self._fence_waiters.append(ev)
+        if len(self._fenced) == self.size:
+            self._committed.update(self._pending)
+            self._pending.clear()
+            self._fenced.clear()
+            self.fence_generation += 1
+            waiters, self._fence_waiters = self._fence_waiters, []
+            for w in waiters:
+                w.succeed(self.fence_generation)
+        return ev
+
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of all committed key-value pairs."""
+        return dict(self._committed)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise PmiError(f"rank {rank} out of range (size {self.size})")

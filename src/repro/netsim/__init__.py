@@ -1,0 +1,27 @@
+"""Simulated interconnects: fabric cost models, topologies, sockets.
+
+Models the three networks the paper runs on — native BG/P torus messaging,
+ZeptoOS TCP-over-torus, and commodity ethernet — plus the socket API the
+JETS control plane uses on top of them.
+"""
+
+from .fabric import ETHERNET, NATIVE_BGP, TCP_ZEPTO_BGP, Fabric, FabricSpec
+from .sockets import ConnectionClosed, Listener, Message, Network, Socket
+from .topology import SwitchedFlat, Topology, Torus3D, torus_dims_for
+
+__all__ = [
+    "ConnectionClosed",
+    "ETHERNET",
+    "Fabric",
+    "FabricSpec",
+    "Listener",
+    "Message",
+    "NATIVE_BGP",
+    "Network",
+    "Socket",
+    "SwitchedFlat",
+    "TCP_ZEPTO_BGP",
+    "Topology",
+    "Torus3D",
+    "torus_dims_for",
+]

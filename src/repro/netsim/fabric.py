@@ -1,0 +1,143 @@
+"""Network fabric cost models.
+
+The paper exercises three distinct fabrics:
+
+* the Blue Gene/P **native** messaging stack (DCMF over the 3D torus),
+  used by the "native mode" baseline in Fig. 8;
+* **TCP/IP over the torus** as provided by ZeptoOS, which is what
+  JETS-launched MPICH2 jobs actually use (much higher small-message
+  latency, slightly lower bandwidth — Fig. 8);
+* commodity **ethernet** on the x86 clusters (Breadboard, Eureka).
+
+All three are linear α–β models: ``t(n) = α + hops·α_hop + n/β`` with an
+optional per-message fixed software overhead.  Constants live in
+:class:`FabricSpec`; presets mirror the paper's Section 6 measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simkernel import Environment, Event
+from .topology import Topology
+
+__all__ = ["FabricSpec", "Fabric", "NATIVE_BGP", "TCP_ZEPTO_BGP", "ETHERNET"]
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Parameters of a fabric cost model.
+
+    Attributes:
+        name: label used in reports.
+        latency: end-to-end zero-byte latency for adjacent endpoints (s).
+        bandwidth: sustained point-to-point bandwidth (bytes/s).
+        per_hop_latency: extra latency per topology hop beyond the first (s).
+        sw_overhead: fixed per-message software cost charged to the sender
+            (protocol stack traversal; dominates TCP small messages).
+        segment_bytes: protocol segment size; each message pays
+            ``ceil(n/segment)`` times a small per-segment cost for TCP-like
+            stacks (0 disables segmentation cost).
+        per_segment_cost: cost per protocol segment (s).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    per_hop_latency: float = 0.0
+    sw_overhead: float = 0.0
+    segment_bytes: int = 0
+    per_segment_cost: float = 0.0
+
+    def transfer_time(self, nbytes: int, hops: int = 1) -> float:
+        """Modelled one-way delivery time for ``nbytes`` over ``hops`` links."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        t = self.sw_overhead + self.latency + self.per_hop_latency * max(0, hops - 1)
+        t += nbytes / self.bandwidth
+        if self.segment_bytes and nbytes > 0:
+            nseg = -(-nbytes // self.segment_bytes)
+            t += nseg * self.per_segment_cost
+        return t
+
+
+#: Native DCMF-style messaging on the BG/P torus (Fig. 8 "native").
+NATIVE_BGP = FabricSpec(
+    name="native-bgp",
+    latency=3.5e-6,
+    bandwidth=374e6,
+    per_hop_latency=0.1e-6,
+)
+
+#: MPICH2 over ZeptoOS TCP sockets on the BG/P torus (Fig. 8 "MPICH/sockets").
+TCP_ZEPTO_BGP = FabricSpec(
+    name="tcp-zepto-bgp",
+    latency=60e-6,
+    bandwidth=208e6,
+    per_hop_latency=0.3e-6,
+    sw_overhead=190e-6,
+    segment_bytes=65536,
+    per_segment_cost=18e-6,
+)
+
+#: Gigabit-class ethernet on the x86 clusters (Breadboard / Eureka).
+ETHERNET = FabricSpec(
+    name="ethernet",
+    latency=45e-6,
+    bandwidth=118e6,
+    sw_overhead=25e-6,
+)
+
+
+class Fabric:
+    """A fabric instance: spec + optional topology, with timing helpers.
+
+    ``transfer`` is a generator usable from sim processes; ``delivery``
+    schedules a fire-and-forget event used by the socket layer.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: FabricSpec,
+        topology: Optional[Topology] = None,
+        external_hops: int = 4,
+    ):
+        self.env = env
+        self.spec = spec
+        self.topology = topology
+        #: Hop count charged when an endpoint lies outside the topology
+        #: (e.g. the login/submit host reached through the I/O network).
+        self.external_hops = external_hops
+
+    def hops(self, src: int, dst: int) -> int:
+        """Topology hop count between endpoints (1 if no topology)."""
+        if src == dst:
+            return 0
+        if self.topology is None:
+            return 1
+        if src >= self.topology.n or dst >= self.topology.n or src < 0 or dst < 0:
+            return self.external_hops
+        return self.topology.hops(src, dst)
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """One-way delivery time between endpoints ``src`` and ``dst``."""
+        if src == dst:
+            # Loopback: software overhead only, no wire time.
+            return self.spec.sw_overhead + 1e-7
+        return self.spec.transfer_time(nbytes, self.hops(src, dst))
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Sim-process generator that takes one delivery time."""
+        yield self.env.timeout(self.transfer_time(src, dst, nbytes))
+
+    def delivery(self, src: int, dst: int, nbytes: int, value=None) -> Event:
+        """Event firing after the message would arrive (carries ``value``)."""
+        return self.env.timeout(self.transfer_time(src, dst, nbytes), value)
+
+    def rtt(self, src: int, dst: int, nbytes: int = 0) -> float:
+        """Round-trip time for an ``nbytes`` request and empty reply."""
+        return self.transfer_time(src, dst, nbytes) + self.transfer_time(
+            dst, src, 0
+        )

@@ -1,0 +1,193 @@
+"""Connection-oriented messaging over a simulated fabric.
+
+Everything in the JETS control plane talks through this API: worker agents
+connect back to the dispatcher, Hydra proxies connect back to ``mpiexec``,
+and PMI traffic rides the proxy connections — exactly the socket topology
+of the real system (Section 5).
+
+Semantics:
+
+* :meth:`Network.connect` performs a TCP-like handshake (1.5 RTT).
+* :meth:`Socket.send` is asynchronous; delivery is delayed by the fabric's
+  transfer time, and per-direction FIFO ordering is enforced.
+* A closed peer causes pending and future ``recv`` events to fail with
+  :class:`ConnectionClosed` — the disconnection-tolerance tests rely on it
+  (design principle 4: "assume disconnection is likely").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..simkernel import Environment, Event, Store
+from .fabric import Fabric
+
+__all__ = ["Network", "Listener", "Socket", "ConnectionClosed", "Message"]
+
+
+class ConnectionClosed(Exception):
+    """Raised from recv/send on a closed connection."""
+
+
+class Message:
+    """A unit on the wire: opaque payload plus its modelled size."""
+
+    __slots__ = ("payload", "nbytes")
+
+    def __init__(self, payload: Any, nbytes: int):
+        self.payload = payload
+        self.nbytes = int(nbytes)
+
+    def __repr__(self) -> str:
+        return f"Message({self.payload!r}, nbytes={self.nbytes})"
+
+
+_CLOSE = object()
+
+
+class Socket:
+    """One end of an established connection."""
+
+    def __init__(self, network: "Network", local: int, remote: int):
+        self._network = network
+        self.local = local
+        self.remote = remote
+        self._inbox: Store = Store(network.env)
+        self._peer: Optional["Socket"] = None
+        self._closed = False
+        self._last_arrival = 0.0
+
+    @property
+    def closed(self) -> bool:
+        """True once either side has closed the connection."""
+        return self._closed
+
+    def send(self, payload: Any, nbytes: int = 64) -> Event:
+        """Queue a message to the peer; returns the local completion event.
+
+        The returned event fires when the message has been handed to the
+        stack (send-side cost); delivery at the peer happens transfer-time
+        later, FIFO-ordered per direction.
+        """
+        if self._closed or self._peer is None:
+            ev = Event(self._network.env)
+            ev.fail(ConnectionClosed(f"send on closed socket {self!r}"))
+            ev._defused = False
+            return ev
+        env = self._network.env
+        t = self._network.fabric.transfer_time(self.local, self.remote, nbytes)
+        arrival = max(env.now + t, self._peer._last_arrival)
+        self._peer._last_arrival = arrival
+        peer = self._peer
+        msg = Message(payload, nbytes)
+        deliver = env.timeout(arrival - env.now)
+        deliver._add_callback(lambda _e: peer._deliver(msg))
+        # Sender-side completion: software overhead only.
+        return env.timeout(self._network.fabric.spec.sw_overhead)
+
+    def _deliver(self, msg: Any) -> None:
+        if not self._closed:
+            self._inbox.put(msg)
+
+    def recv(self) -> Event:
+        """Event yielding the next :class:`Message` from the peer."""
+        if self._closed:
+            ev = Event(self._network.env)
+            ev.fail(ConnectionClosed(f"recv on closed socket {self!r}"))
+            ev._defused = False
+            return ev
+        get = self._inbox.get()
+        result = Event(self._network.env)
+
+        def on_item(ev: Event) -> None:
+            if ev.value is _CLOSE:
+                result.fail(ConnectionClosed("peer closed connection"))
+            else:
+                result.succeed(ev.value)
+
+        get._add_callback(on_item)
+        return result
+
+    def close(self) -> None:
+        """Close both directions; peer recv()s fail after in-flight drains."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._peer is not None and not self._peer._closed:
+            # Notify peer in-band so already-delivered messages drain first.
+            env = self._network.env
+            t = self._network.fabric.transfer_time(self.local, self.remote, 0)
+            peer = self._peer
+            arrival = max(env.now + t, peer._last_arrival)
+            peer._last_arrival = arrival
+            deliver = env.timeout(arrival - env.now)
+
+            def notify(_e: Event) -> None:
+                peer._closed = True
+                peer._inbox.put(_CLOSE)
+
+            deliver._add_callback(notify)
+
+    def __repr__(self) -> str:
+        return f"<Socket {self.local}->{self.remote}>"
+
+
+class Listener:
+    """A bound service accepting incoming connections."""
+
+    def __init__(self, network: "Network", addr: tuple[int, str]):
+        self._network = network
+        self.addr = addr
+        self._backlog: Store = Store(network.env)
+        self._open = True
+
+    def accept(self) -> Event:
+        """Event yielding the next accepted :class:`Socket`."""
+        return self._backlog.get()
+
+    def close(self) -> None:
+        """Stop accepting; future connects to this address fail."""
+        self._open = False
+        self._network._unbind(self.addr)
+
+
+class Network:
+    """Endpoint registry: binds listeners and establishes connections."""
+
+    def __init__(self, env: Environment, fabric: Fabric):
+        self.env = env
+        self.fabric = fabric
+        self._listeners: dict[tuple[int, str], Listener] = {}
+
+    def listen(self, endpoint: int, service: str) -> Listener:
+        """Bind a listener at ``(endpoint, service)``."""
+        addr = (endpoint, service)
+        if addr in self._listeners:
+            raise ValueError(f"address already bound: {addr}")
+        listener = Listener(self, addr)
+        self._listeners[addr] = listener
+        return listener
+
+    def _unbind(self, addr: tuple[int, str]) -> None:
+        self._listeners.pop(addr, None)
+
+    def connect(self, src: int, endpoint: int, service: str) -> Generator:
+        """Handshake with a listener; yields, returns the client Socket.
+
+        Usage (inside a sim process)::
+
+            sock = yield from network.connect(me, server, "jets")
+        """
+        addr = (endpoint, service)
+        # SYN / SYN-ACK / ACK: 1.5 round trips of zero-byte messages.
+        rtt = self.fabric.rtt(src, endpoint, 64)
+        yield self.env.timeout(1.5 * rtt)
+        listener = self._listeners.get(addr)
+        if listener is None or not listener._open:
+            raise ConnectionClosed(f"connection refused: {addr}")
+        client = Socket(self, src, endpoint)
+        server = Socket(self, endpoint, src)
+        client._peer = server
+        server._peer = client
+        listener._backlog.put(server)
+        return client

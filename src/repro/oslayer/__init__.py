@@ -1,0 +1,35 @@
+"""Operating-system substrate: filesystems, process costs, ZeptoOS config."""
+
+from .filesystem import (
+    GPFS,
+    PVFS,
+    RAMFS_SPEC,
+    FilesystemSpec,
+    LocalRamFS,
+    SharedFilesystem,
+)
+from .process import ExecutableImage, ProcessCostSpec, load_executable
+from .zeptoos import (
+    CNK_DEFAULT,
+    LINUX,
+    NodeCapabilityError,
+    ZEPTO_TUNED,
+    ZeptoConfig,
+)
+
+__all__ = [
+    "CNK_DEFAULT",
+    "ExecutableImage",
+    "FilesystemSpec",
+    "GPFS",
+    "LINUX",
+    "LocalRamFS",
+    "NodeCapabilityError",
+    "ProcessCostSpec",
+    "PVFS",
+    "RAMFS_SPEC",
+    "SharedFilesystem",
+    "ZEPTO_TUNED",
+    "ZeptoConfig",
+    "load_executable",
+]

@@ -1,0 +1,175 @@
+"""Filesystem models: shared parallel FS (GPFS/PVFS-like) and node-local RAM FS.
+
+The paper's utilization losses at high PPN (Fig. 15) and in the
+single-process REM runs (Fig. 18a) come from *shared-filesystem contention*:
+many nodes simultaneously reading the application binary and small input
+files.  JETS counters this with node-local RAM-filesystem staging
+(Section 6.1.4).  Both effects are modelled here:
+
+* :class:`SharedFilesystem` charges ``(metadata + latency + bytes/bw)``
+  scaled by a contention factor that grows with the number of concurrent
+  clients.
+* :class:`LocalRamFS` is per-node, fast, and contention-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..simkernel import Environment
+
+__all__ = [
+    "FilesystemSpec",
+    "SharedFilesystem",
+    "LocalRamFS",
+    "GPFS",
+    "PVFS",
+    "RAMFS_SPEC",
+]
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """Cost parameters of a filesystem.
+
+    Attributes:
+        name: label for reports.
+        metadata_latency: cost of an open/stat (s).
+        latency: first-byte latency of a read/write (s).
+        bandwidth: streaming bandwidth per client, uncontended (bytes/s).
+        contention_alpha: fractional slowdown added per concurrent client
+            beyond the first (0 disables contention).
+        contention_cap: upper bound on the contention factor.
+    """
+
+    name: str
+    metadata_latency: float
+    latency: float
+    bandwidth: float
+    contention_alpha: float = 0.0
+    contention_cap: float = 64.0
+
+
+#: GPFS as deployed on Eureka (Section 6.2) — strong small-file contention.
+GPFS = FilesystemSpec(
+    name="gpfs",
+    metadata_latency=1.5e-3,
+    latency=0.8e-3,
+    bandwidth=350e6,
+    contention_alpha=0.035,
+)
+
+#: PVFS as deployed on Surveyor (Section 6.1.6) — better parallel writes.
+PVFS = FilesystemSpec(
+    name="pvfs",
+    metadata_latency=1.0e-3,
+    latency=0.9e-3,
+    bandwidth=300e6,
+    contention_alpha=0.012,
+)
+
+#: Node-local ZeptoOS RAM filesystem.
+RAMFS_SPEC = FilesystemSpec(
+    name="ramfs",
+    metadata_latency=4e-6,
+    latency=2e-6,
+    bandwidth=2.0e9,
+)
+
+
+class SharedFilesystem:
+    """A shared parallel filesystem with client-count contention.
+
+    All nodes (and the login host) read/write through one instance; the
+    instantaneous number of in-flight operations scales everyone's cost.
+    """
+
+    def __init__(self, env: Environment, spec: FilesystemSpec):
+        self.env = env
+        self.spec = spec
+        self._active = 0
+        #: Total bytes moved, for reports.
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def active_clients(self) -> int:
+        """Number of in-flight operations right now."""
+        return self._active
+
+    def _factor(self) -> float:
+        extra = max(0, self._active - 1)
+        return min(
+            1.0 + self.spec.contention_alpha * extra, self.spec.contention_cap
+        )
+
+    def _op_time(self, nbytes: int) -> float:
+        base = (
+            self.spec.metadata_latency
+            + self.spec.latency
+            + nbytes / self.spec.bandwidth
+        )
+        return base * self._factor()
+
+    def read(self, nbytes: int) -> Generator:
+        """Sim-process generator performing a contended read."""
+        self._active += 1
+        try:
+            yield self.env.timeout(self._op_time(nbytes))
+            self.bytes_read += nbytes
+        finally:
+            self._active -= 1
+
+    def write(self, nbytes: int) -> Generator:
+        """Sim-process generator performing a contended write."""
+        self._active += 1
+        try:
+            yield self.env.timeout(self._op_time(nbytes))
+            self.bytes_written += nbytes
+        finally:
+            self._active -= 1
+
+    def estimate(self, nbytes: int) -> float:
+        """Uncontended single-op time (for planning/tests)."""
+        return (
+            self.spec.metadata_latency
+            + self.spec.latency
+            + nbytes / self.spec.bandwidth
+        )
+
+
+class LocalRamFS:
+    """Per-node RAM filesystem used for staged binaries and libraries."""
+
+    def __init__(self, env: Environment, spec: FilesystemSpec = RAMFS_SPEC):
+        self.env = env
+        self.spec = spec
+        self._files: dict[str, int] = {}
+
+    def store(self, name: str, nbytes: int) -> None:
+        """Register ``name`` (size ``nbytes``) as locally cached."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._files[name] = int(nbytes)
+
+    def has(self, name: str) -> bool:
+        """True if ``name`` has been staged to this node."""
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        """Size of a staged file; KeyError if absent."""
+        return self._files[name]
+
+    def read(self, name: str) -> Generator:
+        """Sim-process generator reading a staged file (fast, local)."""
+        nbytes = self._files[name]
+        yield self.env.timeout(
+            self.spec.metadata_latency
+            + self.spec.latency
+            + nbytes / self.spec.bandwidth
+        )
+
+    def files(self) -> list[str]:
+        """Names of all staged files."""
+        return sorted(self._files)

@@ -1,0 +1,70 @@
+"""Operating-system process model.
+
+Captures what it costs a compute node to start a user process: the
+fork/exec itself plus loading the executable image — from the shared
+filesystem (slow, contended, the default for a "first-time user",
+Section 6.2.2) or from the node-local RAM FS when JETS has staged it
+(Section 6.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+__all__ = ["ExecutableImage", "ProcessCostSpec", "load_executable"]
+
+
+@dataclass(frozen=True)
+class ExecutableImage:
+    """An executable (or shared library) with its on-disk size.
+
+    ``libraries`` model the LD_LIBRARY_PATH lookups that ZeptoOS staging
+    suppresses; each library is loaded the same way as the main image.
+    """
+
+    name: str
+    nbytes: int = 1 << 20
+    libraries: tuple["ExecutableImage", ...] = field(default_factory=tuple)
+
+    def total_bytes(self) -> int:
+        """Image plus all library bytes."""
+        return self.nbytes + sum(lib.total_bytes() for lib in self.libraries)
+
+
+@dataclass(frozen=True)
+class ProcessCostSpec:
+    """Per-node process management costs.
+
+    Attributes:
+        fork_exec: median kernel cost of fork+exec (s).
+        exit_cost: teardown cost at process exit (s).
+        fork_jitter: lognormal sigma of per-exec variation.  Real fork
+            times vary run to run; this skew is what lets a fleet of
+            identical workers drift out of lockstep (the paper observes
+            exactly this: "skew reduces the number of simultaneous work
+            requests", Section 6.1.5).
+    """
+
+    fork_exec: float
+    exit_cost: float = 0.0
+    fork_jitter: float = 0.08
+
+
+def load_executable(node: "Node", image: ExecutableImage) -> Generator:
+    """Sim-process generator: load ``image`` (and libraries) on ``node``.
+
+    Reads from the node's RAM FS when staged there, otherwise from the
+    shared filesystem (incurring contention).
+    """
+    for item in (image, *image.libraries):
+        if node.ramfs.has(item.name):
+            yield from node.ramfs.read(item.name)
+        elif node.shared_fs is not None:
+            yield from node.shared_fs.read(item.nbytes)
+        else:  # no shared FS configured: treat as local
+            node.ramfs.store(item.name, item.nbytes)
+            yield from node.ramfs.read(item.name)

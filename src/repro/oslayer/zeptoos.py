@@ -1,0 +1,99 @@
+"""ZeptoOS compute-node configuration.
+
+On the Blue Gene/P the default IBM Compute Node Kernel provides no POSIX
+sockets, so JETS requires ZeptoOS: a Linux kernel exposing TCP/IP over the
+torus through a virtual ethernet device (Section 4.3).  The JETS start-up
+scripts additionally enable the node-local RAM filesystem, set
+``LD_LIBRARY_PATH`` to suppress GPFS lookups, and add an ``/etc/hosts``
+entry so Hydra proxies can find the JETS service (Section 6.1.4).
+
+This module models that configuration step as an explicit, checkable node
+capability: attempting socket-based MPI on a node without
+``ip_over_torus`` raises, exactly as the real system would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+__all__ = ["ZeptoConfig", "CNK_DEFAULT", "ZEPTO_TUNED", "NodeCapabilityError"]
+
+
+class NodeCapabilityError(RuntimeError):
+    """A node lacks an OS capability the requested operation needs."""
+
+
+@dataclass(frozen=True)
+class ZeptoConfig:
+    """Compute-node OS feature set.
+
+    Attributes:
+        name: label for reports.
+        posix_sockets: node offers POSIX sockets (Linux/ZeptoOS yes,
+            IBM CNK no).
+        ip_over_torus: virtual ethernet over the torus is enabled
+            (required for sockets-based MPI on BG/P).
+        ramfs: node-local RAM filesystem available for staging.
+        hosts_entries: extra /etc/hosts entries installed by the start-up
+            script (service name -> endpoint).
+        suppress_gpfs_lookups: LD_LIBRARY_PATH tuned so library loads hit
+            local storage instead of GPFS.
+        boot_overhead: extra per-node boot time for the custom kernel (s).
+    """
+
+    name: str
+    posix_sockets: bool
+    ip_over_torus: bool
+    ramfs: bool
+    hosts_entries: dict[str, int] = field(default_factory=dict)
+    suppress_gpfs_lookups: bool = False
+    boot_overhead: float = 0.0
+
+    def require_sockets(self) -> None:
+        """Raise unless this OS supports socket-based communication."""
+        if not self.posix_sockets:
+            raise NodeCapabilityError(
+                f"{self.name}: no POSIX sockets (IBM CNK); boot ZeptoOS"
+            )
+
+    def require_ip(self) -> None:
+        """Raise unless node-to-node IP (torus or ethernet) is available."""
+        self.require_sockets()
+        if not self.ip_over_torus:
+            raise NodeCapabilityError(
+                f"{self.name}: IP-over-torus disabled; enable it in the "
+                "ZeptoOS boot options"
+            )
+
+
+#: The stock IBM Compute Node Kernel: no sockets, no local Linux FS.
+CNK_DEFAULT = ZeptoConfig(
+    name="cnk",
+    posix_sockets=False,
+    ip_over_torus=False,
+    ramfs=False,
+)
+
+#: ZeptoOS as configured by the JETS start-up scripts (Section 6.1.4).
+ZEPTO_TUNED = ZeptoConfig(
+    name="zeptoos-tuned",
+    posix_sockets=True,
+    ip_over_torus=True,
+    ramfs=True,
+    suppress_gpfs_lookups=True,
+    boot_overhead=30.0,
+)
+
+#: Plain Linux on commodity clusters (Breadboard/Eureka).
+LINUX = ZeptoConfig(
+    name="linux",
+    posix_sockets=True,
+    ip_over_torus=True,  # ordinary ethernet IP
+    ramfs=True,
+)
+
+__all__.append("LINUX")

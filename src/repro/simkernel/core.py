@@ -1,0 +1,424 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES engine in the style of SimPy.
+Every other subsystem in this reproduction (cluster nodes, network fabric,
+the JETS dispatcher, MPI bootstrap, the Swift dataflow engine) is expressed
+as :class:`Process` coroutines scheduled by an :class:`Environment`.
+
+Determinism: events are ordered by ``(time, priority, sequence)`` where the
+sequence number is a monotonically increasing counter, so two runs with the
+same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Priority for events that must fire before same-time normal events.
+URGENT = 0
+#: Default event priority.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary application-level reason
+    (for example, the fault injector passes the failed node).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Processes ``yield`` events to wait for them.  An event is *triggered*
+    once :meth:`succeed` or :meth:`fail` has been called; its callbacks run
+    when the scheduler pops it from the event heap.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: Set when a failed event's exception has been delivered somewhere,
+        #: suppressing the "unhandled failure" error at teardown.
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (scheduled to fire)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time via a
+            # zero-delay bridge event so ordering stays deterministic.
+            bridge = Event(self.env)
+            bridge.callbacks.append(lambda _e: callback(self))
+            bridge._ok = self._ok
+            bridge._value = self._value if self._value is not PENDING else None
+            self.env._schedule(bridge, URGENT)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered automatically")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout is triggered automatically")
+
+
+class Initialize(Event):
+    """Internal event used to start a process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator yields :class:`Event` instances.  The value of a yielded
+    event is sent back into the generator; a failed event is thrown in as
+    its exception.  The return value of the generator becomes the value of
+    the process-as-event.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._generator is self.env._active_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        bridge = Event(self.env)
+        bridge._ok = False
+        bridge._value = Interrupt(cause)
+        bridge._defused = True
+        bridge.callbacks.append(self._resume)
+        self.env._schedule(bridge, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # Ignore resumptions from a stale target (e.g. the event we were
+        # waiting on fires after an interrupt already moved us on).
+        if not self.is_alive:
+            if not event._ok:
+                event._defused = True
+            return
+        if self._target is not None and event is not self._target and not isinstance(
+            event._value, Interrupt
+        ):
+            if not event._ok:
+                event._defused = True
+            return
+        self.env._active_process = self
+        self.env._active_generator = self._generator
+        try:
+            while True:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event._value)
+                if not isinstance(next_target, Event):
+                    next_target = self._generator.throw(
+                        SimulationError(
+                            f"process {self.name!r} yielded a non-event: "
+                            f"{next_target!r}"
+                        )
+                    )
+                if next_target.env is not self.env:
+                    raise SimulationError("yielded event from another environment")
+                self._target = next_target
+                if next_target.processed:
+                    # Event already done: loop immediately with its value.
+                    event = next_target
+                    continue
+                next_target._add_callback(self._resume)
+                break
+        except StopIteration as stop:
+            self._target = None
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self, NORMAL)
+        except BaseException as exc:
+            self._target = None
+            self._ok = False
+            self._value = exc
+            self._defused = False
+            self.env._schedule(self, NORMAL)
+        finally:
+            self.env._active_process = None
+            self.env._active_generator = None
+
+
+class Condition(Event):
+    """Waits for a set of events per an evaluation function."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event], evaluate):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        if not self._events:
+            self._ok = True
+            self._value = {}
+            env._schedule(self, NORMAL)
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._on_event(ev)
+            else:
+                ev._add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self._ok = False
+            self._value = event._value
+            self.env._schedule(self, NORMAL)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self._ok = True
+            self._value = {
+                ev: ev._value for ev in self._events if ev.triggered and ev._ok
+            }
+            self.env._schedule(self, NORMAL)
+
+
+class AllOf(Condition):
+    """Triggers when all given events have succeeded (fails on first failure)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda evs, count: count == len(evs))
+
+
+class AnyOf(Condition):
+    """Triggers when at least one of the given events has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda evs, count: count >= 1)
+
+
+class Environment:
+    """The simulation clock and event scheduler.
+
+    Example::
+
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._active_generator: Optional[Generator] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(
+                repr(exc)
+            )
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a time
+        (run up to that time), or an :class:`Event` (run until it fires and
+        return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until is in the past")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            raise SimulationError(
+                "simulation ran out of events before `until` event fired"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,164 @@
+"""Instrumentation: traces, counters and time-weighted gauges.
+
+The experiment harnesses derive every reported metric (utilization, task
+rates, load levels) from :class:`Trace` records and :class:`Gauge` series
+rather than ad-hoc bookkeeping inside the model, mirroring how the paper
+instruments worker/task start/stop times (Section 6.1.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .core import Environment
+
+__all__ = ["TraceRecord", "Trace", "Counter", "Gauge", "IntervalLog"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: (time, category, payload)."""
+
+    time: float
+    category: str
+    data: Any = None
+
+
+class Trace:
+    """Append-only event trace with category filtering."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.records: list[TraceRecord] = []
+
+    def log(self, category: str, data: Any = None) -> None:
+        """Record ``data`` under ``category`` at the current sim time."""
+        self.records.append(TraceRecord(self.env.now, category, data))
+
+    def select(self, category: str) -> list[TraceRecord]:
+        """All records in ``category``, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def times(self, category: str) -> list[float]:
+        """Timestamps of all records in ``category``."""
+        return [r.time for r in self.records if r.category == category]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Counter:
+    """Monotonic counter with optional trace hookup."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> int:
+        """Add ``amount`` and return the new value."""
+        self.value += amount
+        return self.value
+
+
+class Gauge:
+    """A step function of time (e.g. number of busy cores).
+
+    Records ``(time, value)`` breakpoints; integration gives time-weighted
+    means, which is exactly the "load level" plotted in the paper's Fig. 13.
+    """
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self.value = float(initial)
+        self.samples: list[tuple[float, float]] = [(env.now, self.value)]
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute value at the current time."""
+        self.value = float(value)
+        self.samples.append((self.env.now, self.value))
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` at the current time."""
+        self.set(self.value + delta)
+
+    def series(self) -> list[tuple[float, float]]:
+        """The recorded (time, value) breakpoints."""
+        return list(self.samples)
+
+    def integral(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Integrate the step function over [start, end] (defaults: full span)."""
+        if not self.samples:
+            return 0.0
+        t0 = self.samples[0][0] if start is None else start
+        t1 = self.env.now if end is None else end
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for (ta, va), (tb, _vb) in zip(self.samples, self.samples[1:]):
+            lo, hi = max(ta, t0), min(tb, t1)
+            if hi > lo:
+                total += va * (hi - lo)
+        ta, va = self.samples[-1]
+        lo = max(ta, t0)
+        if t1 > lo:
+            total += va * (t1 - lo)
+        return total
+
+    def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Time-weighted mean over [start, end]."""
+        t0 = self.samples[0][0] if start is None else start
+        t1 = self.env.now if end is None else end
+        span = t1 - t0
+        return self.integral(start, end) / span if span > 0 else 0.0
+
+    def max(self) -> float:
+        """Maximum recorded value."""
+        return max(v for _t, v in self.samples)
+
+
+@dataclass
+class IntervalLog:
+    """Log of closed intervals (task executions, worker lifetimes)."""
+
+    intervals: list[tuple[float, float, Any]] = field(default_factory=list)
+
+    def add(self, start: float, end: float, tag: Any = None) -> None:
+        """Record an interval [start, end] with an optional tag."""
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self.intervals.append((start, end, tag))
+
+    def busy_time(self) -> float:
+        """Sum of interval durations (with multiplicity)."""
+        return sum(e - s for s, e, _ in self.intervals)
+
+    def concurrency_series(self) -> list[tuple[float, int]]:
+        """Step series of how many intervals are open over time."""
+        deltas: list[tuple[float, int]] = []
+        for s, e, _ in self.intervals:
+            deltas.append((s, 1))
+            deltas.append((e, -1))
+        deltas.sort()
+        series: list[tuple[float, int]] = []
+        level = 0
+        for t, d in deltas:
+            level += d
+            if series and series[-1][0] == t:
+                series[-1] = (t, level)
+            else:
+                series.append((t, level))
+        return series
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all intervals."""
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(s for s, _, _ in self.intervals),
+            max(e for _, e, _ in self.intervals),
+        )
+
+    def durations(self) -> list[float]:
+        """All interval durations."""
+        return [e - s for s, e, _ in self.intervals]

@@ -1,0 +1,309 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover every synchronization pattern in the JETS stack:
+
+* :class:`Resource` — counted capacity with FIFO request queue (CPU cores,
+  the dispatcher's service thread, filesystem servers).
+* :class:`Store` / :class:`PriorityStore` — producer/consumer queues
+  (worker mailboxes, the dispatcher's ready-worker pool, socket buffers).
+* :class:`Container` — continuous level (bytes in a buffer).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = [
+    "Resource",
+    "Request",
+    "Store",
+    "PriorityStore",
+    "FilterStore",
+    "Container",
+]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding the resource
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    ``request()`` returns an event that fires when one capacity unit is
+    granted; ``release(req)`` returns it.  Releasing an ungranted request
+    cancels it.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._queue: deque[Request] = deque()
+        self._users: set[Request] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of granted (in-use) capacity units."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one capacity unit; the returned event fires when granted."""
+        req = Request(self)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted unit (or cancel a pending request)."""
+        if request in self._users:
+            self._users.discard(request)
+            self._grant()
+        else:
+            self._cancel(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.add(req)
+            req.succeed(req)
+
+
+class StoreGet(Event):
+    """Pending get on a store."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+
+
+class Store:
+    """Unbounded-by-default FIFO item queue with blocking gets.
+
+    ``put(item)`` succeeds immediately when below capacity; ``get()``
+    returns an event that fires with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    @property
+    def items(self) -> list:
+        """Snapshot of currently stored items (FIFO order)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once inserted."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item (event fires with the item)."""
+        ev = StoreGet(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def cancel_get(self, get_event: StoreGet) -> None:
+        """Withdraw a pending get (no-op if already fulfilled)."""
+        try:
+            self._getters.remove(get_event)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._insert(item)
+                ev.succeed()
+                progressed = True
+            while self._getters and self._items:
+                getter = self._getters.popleft()
+                getter.succeed(self._pop())
+                progressed = True
+
+    def _insert(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _pop(self) -> Any:
+        return self._items.popleft()
+
+
+class PriorityStore(Store):
+    """Store returning items in ascending sort order.
+
+    Items must be comparable (use ``(priority, seq, payload)`` tuples).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: list[Any] = []
+
+    @property
+    def items(self) -> list:
+        return sorted(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _pop(self) -> Any:
+        return heapq.heappop(self._heap)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._heap) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._insert(item)
+                ev.succeed()
+                progressed = True
+            while self._getters and self._heap:
+                getter = self._getters.popleft()
+                getter.succeed(self._pop())
+                progressed = True
+
+
+class FilterStore(Store):
+    """Store whose gets may carry a predicate selecting acceptable items."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Get the first item satisfying ``filter`` (or any item if None)."""
+        ev = StoreGet(self.env)
+        ev.filter = filter  # type: ignore[attr-defined]
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self._items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed()
+                progressed = True
+            for getter in list(self._getters):
+                pred = getattr(getter, "filter", None)
+                for idx, item in enumerate(self._items):
+                    if pred is None or pred(item):
+                        del self._items[idx]
+                        self._getters.remove(getter)
+                        getter.succeed(item)
+                        progressed = True
+                        break
+
+    def _insert(self, item: Any) -> None:  # pragma: no cover - via _dispatch
+        self._items.append(item)
+
+
+class Container:
+    """Continuous level with blocking put/get (e.g. bytes in a buffer)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: deque[tuple[Event, float]] = deque()
+        self._getters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; event fires once it fits under capacity."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; event fires once that much is available."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and self._level + self._putters[0][1] <= self.capacity:
+                ev, amount = self._putters.popleft()
+                self._level += amount
+                ev.succeed()
+                progressed = True
+            if self._getters and self._level >= self._getters[0][1]:
+                ev, amount = self._getters.popleft()
+                self._level -= amount
+                ev.succeed()
+                progressed = True

@@ -1,0 +1,31 @@
+"""Swift/Coasters layer: dataflow engine, providers, CoasterService, REM."""
+
+from .coasters import CoastersConfig, CoasterService, spectrum_blocks
+from .dataflow import Future, SwiftEngine, WorkflowError
+from .language import FileArray, SwiftScript
+from .provider import BatchProvider, CoastersProvider, LoginProvider, Provider
+from .rem_workflow import (
+    ExchangeScript,
+    RemWorkflowConfig,
+    RemWorkflowResult,
+    run_rem_workflow,
+)
+
+__all__ = [
+    "BatchProvider",
+    "CoastersConfig",
+    "CoasterService",
+    "CoastersProvider",
+    "ExchangeScript",
+    "FileArray",
+    "Future",
+    "LoginProvider",
+    "Provider",
+    "RemWorkflowConfig",
+    "RemWorkflowResult",
+    "SwiftEngine",
+    "SwiftScript",
+    "WorkflowError",
+    "run_rem_workflow",
+    "spectrum_blocks",
+]

@@ -1,0 +1,188 @@
+"""Swift-style dataflow engine.
+
+Swift semantics (Section 6.2.2): *all statements execute concurrently,
+limited by data dependencies*.  A workflow is a set of app-function calls
+linked by single-assignment :class:`Future` variables (Swift's mapped
+files).  Each call waits for its inputs, submits a job to an execution
+provider, and assigns its outputs when the job completes — exactly how the
+Fig. 17 REM script behaves under the Swift runtime.
+
+The engine charges a per-call overhead modelling the Karajan dependency
+engine and task-description generation ("Swift/Coasters processing time is
+consumed by the Swift data dependency engine producing the task
+description", Section 6.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from ..cluster.platform import Platform
+from ..core.tasklist import JobSpec
+from ..simkernel import Environment, Event, Process
+
+__all__ = ["Future", "SwiftEngine", "WorkflowError"]
+
+
+class WorkflowError(Exception):
+    """A workflow-level failure (failed app call, double assignment)."""
+
+
+_future_seq = itertools.count()
+
+
+class Future:
+    """A single-assignment dataflow variable (a Swift mapped file).
+
+    Reading before assignment blocks the reader; assigning twice is an
+    error (Swift variables are write-once).
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self._event = env.event()
+        self.name = name or f"future{next(_future_seq)}"
+
+    @property
+    def is_set(self) -> bool:
+        """True once a value has been assigned."""
+        return self._event.triggered
+
+    @property
+    def value(self) -> Any:
+        """The assigned value; raises if unset."""
+        if not self._event.triggered:
+            raise WorkflowError(f"{self.name} read before assignment")
+        return self._event.value
+
+    def set(self, value: Any = None) -> None:
+        """Assign the variable (once)."""
+        if self._event.triggered:
+            raise WorkflowError(f"{self.name} assigned twice")
+        self._event.succeed(value)
+
+    def wait(self) -> Event:
+        """Event firing with the value when assigned."""
+        return self._event
+
+    def __repr__(self) -> str:
+        state = "set" if self.is_set else "unset"
+        return f"<Future {self.name} {state}>"
+
+
+class SwiftEngine:
+    """Executes app-function calls under dataflow semantics.
+
+    Args:
+        platform: the machine (for the environment/trace).
+        provider: execution provider with ``submit(JobSpec) -> Event``
+            (e.g. :class:`~repro.swift.provider.CoastersProvider`).
+        engine_overhead: per-call dependency-engine + task-generation cost.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        provider,
+        engine_overhead: float = 0.004,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.provider = provider
+        self.engine_overhead = engine_overhead
+        self._outstanding = 0
+        self._idle = self.env.event()
+        self._idle.succeed()
+        self.calls = 0
+        self.failures: list[str] = []
+
+    def future(self, name: str = "") -> Future:
+        """Create an unset dataflow variable."""
+        return Future(self.env, name)
+
+    def futures(self, count: int, prefix: str = "f") -> list[Future]:
+        """Create ``count`` variables named ``prefix0..``."""
+        return [self.future(f"{prefix}{i}") for i in range(count)]
+
+    def call(
+        self,
+        make_job: Callable[[list[Any]], JobSpec],
+        inputs: Sequence[Future] = (),
+        outputs: Sequence[Future] = (),
+        name: str = "",
+    ) -> Process:
+        """Schedule one app-function call.
+
+        ``make_job`` receives the input values (in order) once they are all
+        assigned and returns the :class:`JobSpec` to run.  On success every
+        output future is set to the job's result payload; on permanent
+        failure the workflow records the error and sets outputs to None so
+        downstream calls can drain (Swift would abort; we keep the
+        dataflow analyzable).
+        """
+        self.calls += 1
+        self._retain()
+
+        def body() -> Generator:
+            try:
+                values = []
+                for fut in inputs:
+                    v = yield fut.wait()
+                    values.append(v)
+                yield self.env.timeout(self.engine_overhead)
+                try:
+                    job = make_job(values)
+                except Exception as exc:
+                    # A broken app function fails its call, not the engine
+                    # (Swift reports the app error and drains the workflow).
+                    self.failures.append(f"{name or 'app'}: {exc!r}")
+                    for fut in outputs:
+                        fut.set(None)
+                    return None
+                completed = yield self.provider.submit(job)
+                ok = getattr(completed, "ok", True)
+                result = getattr(completed, "result", None)
+                payload = getattr(result, "rank0_value", None)
+                if not ok:
+                    self.failures.append(
+                        f"{name or job.job_id}: {getattr(completed, 'error', '')}"
+                    )
+                for fut in outputs:
+                    fut.set(payload)
+                return payload
+            finally:
+                self._release()
+
+        return self.env.process(body(), name=name or "swift-call")
+
+    def run_function(
+        self, func: Callable[..., Generator], *args, name: str = "", **kwargs
+    ) -> Process:
+        """Run arbitrary workflow logic (e.g. a loop emitting calls) as a
+        tracked process; the engine stays busy until it finishes."""
+        self._retain()
+
+        def body() -> Generator:
+            try:
+                result = yield from func(*args, **kwargs)
+                return result
+            finally:
+                self._release()
+
+        return self.env.process(body(), name=name or "swift-func")
+
+    def drained(self) -> Event:
+        """Event firing when no calls are outstanding."""
+        return self._idle
+
+    # -- internals -----------------------------------------------------------
+
+    def _retain(self) -> None:
+        self._outstanding += 1
+        if self._idle.triggered:
+            self._idle = self.env.event()
+
+    def _release(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0 and not self._idle.triggered:
+            self._idle.succeed()

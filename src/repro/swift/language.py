@@ -1,0 +1,146 @@
+"""Swift-script-like surface syntax over the dataflow engine.
+
+The paper's workflows are written in Swift (Fig. 14, Fig. 17): app
+functions invoked inside loops, with file-typed variables carrying the
+dependencies.  This module provides the same feel in Python:
+
+* :func:`app` — decorate a function that builds a :class:`JobSpec` from
+  its (resolved) arguments; calling the decorated function with futures
+  returns an output future and schedules the call under dataflow
+  semantics.
+* :func:`foreach` — "foreach i in [0:n-1]" loop sugar.
+* :class:`FileArray` — an array of single-assignment variables indexed
+  like Swift's mapped file arrays.
+
+Example — the Fig. 14 synthetic-workload script::
+
+    engine = SwiftEngine(platform, provider)
+    lang = SwiftScript(engine)
+
+    @lang.app
+    def synthetic(i, duration=10.0, nodes=2, ppn=8):
+        return JobSpec(
+            program=SwiftSyntheticTask(duration), nodes=nodes, ppn=ppn,
+        )
+
+    outs = lang.foreach(range(100), synthetic)
+    platform.env.run(engine.drained())
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..core.tasklist import JobSpec
+from .dataflow import Future, SwiftEngine, WorkflowError
+
+__all__ = ["SwiftScript", "FileArray"]
+
+
+class FileArray:
+    """A Swift-style array of single-assignment variables.
+
+    Elements are created on first access, so scripts can reference
+    ``array[i, j]`` before anything assigns it — exactly how Swift mapped
+    arrays behave.
+    """
+
+    def __init__(self, engine: SwiftEngine, name: str = "array"):
+        self._engine = engine
+        self.name = name
+        self._items: dict[Any, Future] = {}
+
+    def __getitem__(self, key) -> Future:
+        fut = self._items.get(key)
+        if fut is None:
+            fut = self._engine.future(f"{self.name}[{key}]")
+            self._items[key] = fut
+        return fut
+
+    def __setitem__(self, key, value) -> None:
+        self[key].set(value)
+
+    def __contains__(self, key) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def assigned(self) -> dict[Any, Any]:
+        """All currently assigned (key, value) pairs."""
+        return {
+            k: f.value for k, f in self._items.items() if f.is_set
+        }
+
+
+class SwiftScript:
+    """App-function and loop sugar bound to one engine."""
+
+    def __init__(self, engine: SwiftEngine):
+        self.engine = engine
+
+    def app(self, func: Callable[..., JobSpec]):
+        """Decorate ``func(args...) -> JobSpec`` into a Swift app function.
+
+        Calling the decorated function returns an output :class:`Future`.
+        Arguments that are futures are awaited and replaced with their
+        values before ``func`` builds the job; other arguments pass
+        through unchanged — mirroring how Swift resolves file-typed
+        parameters before invoking the app.
+        """
+
+        @functools.wraps(func)
+        def call(*args, outputs: Optional[Sequence[Future]] = None, **kwargs):
+            out = self.engine.future(f"{func.__name__}-out")
+            outs = [out] + list(outputs or [])
+            fut_args = [
+                (i, a) for i, a in enumerate(args) if isinstance(a, Future)
+            ]
+            fut_kwargs = [
+                (k, v) for k, v in kwargs.items() if isinstance(v, Future)
+            ]
+            inputs = [a for _i, a in fut_args] + [v for _k, v in fut_kwargs]
+
+            def make_job(values: list) -> JobSpec:
+                resolved_args = list(args)
+                resolved_kwargs = dict(kwargs)
+                for (i, _f), v in zip(fut_args, values[: len(fut_args)]):
+                    resolved_args[i] = v
+                for (k, _f), v in zip(
+                    fut_kwargs, values[len(fut_args):]
+                ):
+                    resolved_kwargs[k] = v
+                job = func(*resolved_args, **resolved_kwargs)
+                if not isinstance(job, JobSpec):
+                    raise WorkflowError(
+                        f"app function {func.__name__!r} must return a "
+                        f"JobSpec, got {type(job).__name__}"
+                    )
+                return job
+
+            self.engine.call(
+                make_job,
+                inputs=inputs,
+                outputs=outs,
+                name=func.__name__,
+            )
+            return out
+
+        return call
+
+    def foreach(
+        self,
+        items: Iterable,
+        body: Callable[..., Future],
+        *extra_args,
+        **kwargs,
+    ) -> list[Future]:
+        """``foreach item in items { body(item, ...) }`` — all iterations
+        are emitted immediately and run concurrently, limited only by data
+        dependencies (Swift loop semantics)."""
+        return [body(item, *extra_args, **kwargs) for item in items]
+
+    def array(self, name: str = "array") -> FileArray:
+        """Create a Swift-style mapped array."""
+        return FileArray(self.engine, name)

@@ -1,0 +1,253 @@
+"""The asynchronous REM dataflow of Figs. 16–17, over the Swift engine.
+
+The paper's Swift script (under 200 lines including comments) expresses
+replica exchange as a dataflow: rows are replica trajectories (``i``),
+columns are progress between exchanges (``j``).  Each segment produces
+coordinates ``c``, velocities ``v``, extended-system ``s`` files and
+standard output ``o``; the exchange script produces a token ``x`` "which
+is primarily used ... for synchronization".  Each ``namd(i, j)`` depends
+only on its own previous segment and the exchange token that covers it —
+so segments launch independently of the state of the workflow at large,
+giving the asynchronicity of Fig. 16.
+
+Exchange decisions are the *real* Metropolis rule from
+:mod:`repro.apps.rem` applied to the segment energies; the exchange script
+executes on the login host ("freeing the compute nodes for the next ready
+NAMD segment", Section 6.2.2) and is filesystem-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..apps.namd import NamdCostModel, NamdProgram
+from ..apps.rem import TemperatureLadder, should_exchange
+from ..core.tasklist import JobSpec
+from ..mpi.app import MpiProgram, RankContext
+from ..oslayer.process import ExecutableImage
+from .dataflow import Future, SwiftEngine
+from .provider import LoginProvider, Provider
+
+__all__ = ["RemWorkflowConfig", "RemWorkflowResult", "run_rem_workflow", "ExchangeScript"]
+
+
+@dataclass(frozen=True)
+class RemWorkflowConfig:
+    """Shape of one REM/Swift run (defaults mirror Fig. 18b).
+
+    Attributes:
+        n_replicas: rows of the dataflow ("twice the hardware concurrency
+            available" in the paper's runs).
+        n_exchanges: columns (4 in Fig. 18a, 6 in Fig. 18b).
+        nodes_per_segment: worker nodes per NAMD invocation.
+        ppn: MPI processes per node (8 on Eureka).
+        serial: single-process NAMD mode (Fig. 18a) — overrides
+            nodes_per_segment/ppn to 1×1 and runs segments as plain tasks.
+        t_min / t_max: temperature ladder endpoints (reduced units).
+        seed: exchange-decision RNG seed.
+    """
+
+    n_replicas: int = 8
+    n_exchanges: int = 6
+    nodes_per_segment: int = 2
+    ppn: int = 8
+    serial: bool = False
+    t_min: float = 0.8
+    t_max: float = 1.6
+    seed: int = 0
+
+
+@dataclass
+class RemWorkflowResult:
+    """What a REM/Swift run produced."""
+
+    segments_run: int
+    exchanges_attempted: int
+    exchanges_accepted: int
+    segment_walls: list[float] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of exchange attempts accepted."""
+        if not self.exchanges_attempted:
+            return 0.0
+        return self.exchanges_accepted / self.exchanges_attempted
+
+
+class ExchangeScript(MpiProgram):
+    """The exchange shell script: file swaps on the shared filesystem.
+
+    "The exchange function is implemented as a shell script that performs
+    file operations to carry out the exchange" — it reads both neighbours'
+    restart files and rewrites them (possibly swapped), then emits the
+    ``x`` tokens.  The Metropolis decision itself is injected by the
+    workflow so the script stays a dumb file-mover, as in the paper.
+    """
+
+    #: NAMD restart file volume moved per exchange (c+v+s for two replicas).
+    RESTART_BYTES = int(2.2 * (1 << 20))
+
+    nominal_duration = 0.0
+
+    def __init__(self, decide, pair: tuple[int, int]):
+        super().__init__(ExecutableImage("exchange.sh", 8 << 10))
+        self._decide = decide
+        self.pair = pair
+
+    def run(self, ctx: RankContext) -> Generator:
+        fs = ctx.node.shared_fs
+        if fs is not None:
+            yield from fs.read(self.RESTART_BYTES)
+        swapped = self._decide()
+        if fs is not None:
+            yield from fs.write(self.RESTART_BYTES if swapped else 4096)
+        return {"swapped": swapped, "pair": self.pair}
+
+
+def run_rem_workflow(
+    engine: SwiftEngine,
+    config: RemWorkflowConfig,
+    exchange_provider: Optional[Provider] = None,
+    model: Optional[NamdCostModel] = None,
+) -> RemWorkflowResult:
+    """Build the Fig. 17 dataflow on ``engine`` (does not run the sim).
+
+    The caller runs the environment (e.g. ``env.run(engine.drained())``)
+    and then reads the returned result object, which the dataflow mutates
+    as it executes.
+    """
+    R, J = config.n_replicas, config.n_exchanges
+    env = engine.env
+    ladder = TemperatureLadder(config.t_min, config.t_max, R)
+    rng = np.random.default_rng(config.seed)
+    exchange_provider = exchange_provider or LoginProvider(engine.platform)
+    result = RemWorkflowResult(0, 0, 0)
+
+    # Dataflow arrays, indexed by segment (i, j).  `restart[i][j]` bundles
+    # the c/v/s files; `o[i][j]` is NAMD output (carries the energy);
+    # `x[i][j]` is the exchange token covering replica i after round j.
+    restart: dict[tuple[int, int], Future] = {}
+    out: dict[tuple[int, int], Future] = {}
+    token: dict[tuple[int, int], Future] = {}
+
+    for i in range(R):
+        restart[i, 0] = engine.future(f"restart-{i}-0")
+        restart[i, 0].set({"replica": i, "round": 0})
+        token[i, 0] = engine.future(f"x-{i}-0")
+        token[i, 0].set({"swapped": False})
+
+    def namd_call(i: int, j: int) -> None:
+        out[i, j] = engine.future(f"o-{i}-{j}")
+        restart[i, j] = engine.future(f"restart-{i}-{j}")
+
+        def make_job(_values) -> JobSpec:
+            program = NamdProgram(
+                input_name=f"r{i}s{j}", output_name=f"o{i}-{j}", model=model
+            )
+            if config.serial:
+                return JobSpec(program=program, nodes=1, ppn=1, mpi=False)
+            return JobSpec(
+                program=program,
+                nodes=config.nodes_per_segment,
+                ppn=config.ppn,
+                mpi=True,
+            )
+
+        def on_done(_proc=None):
+            pass
+
+        proc = engine.call(
+            make_job,
+            inputs=[restart[i, j - 1], token[i, j - 1]],
+            outputs=[out[i, j]],
+            name=f"namd-{i}-{j}",
+        )
+
+        # Completing a segment also produces the next restart bundle and
+        # bumps the statistics.
+        def chain() -> Generator:
+            payload = yield out[i, j].wait()
+            result.segments_run += 1
+            if isinstance(payload, dict) and "wall" in payload:
+                result.segment_walls.append(payload["wall"])
+            restart[i, j].set({"replica": i, "round": j})
+
+        engine.run_function(chain, name=f"restart-{i}-{j}")
+
+    def exchange_call(i: int, j: int) -> None:
+        """Exchange between neighbour rows (i, i+1) after round j.
+
+        In file-based REM each row *is* a temperature rung; acceptance
+        swaps the restart files between rows (here: the token payload
+        downstream segments consume).
+        """
+        k = i + 1
+
+        def decide() -> bool:
+            e_i = _energy(out[i, j])
+            e_k = _energy(out[k, j])
+            result.exchanges_attempted += 1
+            ok = should_exchange(e_i, ladder[i], e_k, ladder[k], float(rng.random()))
+            if ok:
+                result.exchanges_accepted += 1
+            return ok
+
+        def make_job(_values) -> JobSpec:
+            return JobSpec(
+                program=ExchangeScript(decide, (i, k)),
+                nodes=1,
+                ppn=1,
+                mpi=False,
+            )
+
+        token[i, j] = engine.future(f"x-{i}-{j}")
+        token[k, j] = engine.future(f"x-{k}-{j}")
+        shared = engine.future(f"xpair-{low}-{j}")
+        engine.call(
+            make_job,
+            inputs=[out[i, j], out[k, j]],
+            outputs=[shared],
+            name=f"exchange-{low}-{j}",
+        )
+
+        def fanout() -> Generator:
+            payload = yield shared.wait()
+            token[i, j].set(payload)
+            token[k, j].set(payload)
+
+        engine.run_function(fanout, name=f"xfan-{low}-{j}")
+
+    # Emit the whole dataflow (Swift would evaluate these "all at once").
+    for j in range(1, J + 1):
+        for i in range(R):
+            namd_call(i, j)
+        parity = (j - 1) % 2
+        covered = set()
+        for low in range(parity, R - 1, 2):
+            exchange_call(low, j)
+            covered.add(low)
+            covered.add(low + 1)
+        # Replicas not covered by a pair this round get a pass-through token.
+        for i in range(R):
+            if i not in covered:
+                token[i, j] = engine.future(f"x-{i}-{j}")
+
+                def passthrough(i=i, j=j) -> Generator:
+                    yield out[i, j].wait()
+                    token[i, j].set({"swapped": False})
+
+                engine.run_function(passthrough, name=f"xpass-{i}-{j}")
+
+    result.failures = engine.failures
+    return result
+
+
+def _energy(fut: Future) -> float:
+    payload = fut.value
+    if isinstance(payload, dict) and "energy" in payload:
+        return float(payload["energy"])
+    return 0.0

@@ -1,0 +1,116 @@
+"""Tests for the MiniMD molecular dynamics engine (real physics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.md_engine import MiniMD
+
+
+class TestSetup:
+    def test_density_sets_box(self):
+        md = MiniMD(n_atoms=64, density=0.5)
+        assert md.box == pytest.approx((64 / 0.5) ** (1 / 3))
+
+    def test_atoms_inside_box(self):
+        md = MiniMD(n_atoms=50)
+        assert np.all(md.x >= 0) and np.all(md.x < md.box)
+
+    def test_zero_net_momentum(self):
+        md = MiniMD(n_atoms=64, seed=3)
+        assert np.allclose(md.v.sum(axis=0), 0, atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MiniMD(n_atoms=1)
+        with pytest.raises(ValueError):
+            MiniMD(n_atoms=10, density=-1)
+        with pytest.raises(ValueError):
+            MiniMD(n_atoms=10, temperature=0)
+
+
+class TestDynamics:
+    def test_nve_conserves_energy(self):
+        """Pure velocity Verlet (gamma=0) conserves total energy well."""
+        md = MiniMD(n_atoms=32, density=0.5, dt=0.002, gamma=0.0, seed=1)
+        md.step(20)  # settle off the lattice
+        e0 = md.total_energy()
+        md.step(200)
+        e1 = md.total_energy()
+        assert abs(e1 - e0) / max(1.0, abs(e0)) < 0.02
+
+    def test_positions_wrapped_periodically(self):
+        md = MiniMD(n_atoms=32, seed=2)
+        md.step(100)
+        assert np.all(md.x >= 0) and np.all(md.x < md.box)
+
+    def test_thermostat_tracks_target_temperature(self):
+        md = MiniMD(n_atoms=64, temperature=1.2, gamma=2.0, dt=0.004, seed=4)
+        md.step(300)
+        temps = []
+        for _ in range(30):
+            md.step(10)
+            temps.append(md.instantaneous_temperature())
+        assert np.mean(temps) == pytest.approx(1.2, rel=0.2)
+
+    def test_steps_counted(self):
+        md = MiniMD(n_atoms=27)
+        md.step(7)
+        assert md.steps_taken == 7
+
+    def test_forces_are_newtonian(self):
+        """Pair forces cancel: net force is ~zero."""
+        md = MiniMD(n_atoms=32, seed=5)
+        md.step(10)
+        f, _pe = md._forces()
+        assert np.allclose(f.sum(axis=0), 0, atol=1e-8)
+
+    def test_deterministic_given_seed(self):
+        a = MiniMD(n_atoms=27, seed=9)
+        b = MiniMD(n_atoms=27, seed=9)
+        a.step(50)
+        b.step(50)
+        assert np.allclose(a.x, b.x)
+        assert a.potential_energy() == pytest.approx(b.potential_energy())
+
+
+class TestRemSupport:
+    def test_set_temperature_rescales_velocities(self):
+        md = MiniMD(n_atoms=64, temperature=1.0, seed=6)
+        ke0 = md.kinetic_energy()
+        md.set_temperature(2.0)
+        assert md.kinetic_energy() == pytest.approx(2 * ke0)
+        assert md.temperature == 2.0
+
+    def test_set_temperature_without_rescale(self):
+        md = MiniMD(n_atoms=64, temperature=1.0, seed=6)
+        ke0 = md.kinetic_energy()
+        md.set_temperature(2.0, rescale=False)
+        assert md.kinetic_energy() == pytest.approx(ke0)
+
+    def test_invalid_temperature_rejected(self):
+        md = MiniMD(n_atoms=27)
+        with pytest.raises(ValueError):
+            md.set_temperature(0)
+
+    def test_snapshot_restore_roundtrip(self):
+        md = MiniMD(n_atoms=27, seed=7)
+        md.step(20)
+        snap = md.snapshot()
+        pe = md.potential_energy()
+        md.step(50)
+        assert md.potential_energy() != pytest.approx(pe, abs=1e-12)
+        md.restore(snap)
+        assert md.potential_energy() == pytest.approx(pe)
+        assert np.allclose(md.x, snap.positions)
+
+    def test_snapshot_is_independent_copy(self):
+        md = MiniMD(n_atoms=27, seed=8)
+        snap = md.snapshot().copy()
+        md.step(10)
+        assert not np.allclose(md.x, snap.positions)
+
+    def test_restore_size_mismatch_rejected(self):
+        md = MiniMD(n_atoms=27)
+        other = MiniMD(n_atoms=64)
+        with pytest.raises(ValueError):
+            md.restore(other.snapshot())

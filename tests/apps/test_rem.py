@@ -1,0 +1,156 @@
+"""Tests for replica-exchange logic: Metropolis rule, ladder, REM driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rem import (
+    ReplicaExchangeMD,
+    TemperatureLadder,
+    exchange_delta,
+    should_exchange,
+)
+
+
+class TestExchangeDelta:
+    def test_symmetric_zero_for_equal_energies(self):
+        assert exchange_delta(-5.0, 1.0, -5.0, 2.0) == pytest.approx(0.0)
+
+    def test_favourable_swap_negative_delta(self):
+        # Hot replica (t=2) has LOWER energy than cold (t=1): swapping is
+        # always accepted (delta <= 0).
+        delta = exchange_delta(-3.0, 1.0, -8.0, 2.0)
+        assert delta <= 0
+        assert should_exchange(-3.0, 1.0, -8.0, 2.0, u=0.999)
+
+    def test_unfavourable_swap_requires_luck(self):
+        delta = exchange_delta(-8.0, 1.0, -3.0, 2.0)
+        assert delta > 0
+        p = np.exp(-delta)
+        assert should_exchange(-8.0, 1.0, -3.0, 2.0, u=p * 0.9)
+        assert not should_exchange(-8.0, 1.0, -3.0, 2.0, u=min(p * 1.1, 0.999))
+
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            exchange_delta(0, -1, 0, 1)
+
+    def test_u_validation(self):
+        with pytest.raises(ValueError):
+            should_exchange(0, 1, 0, 2, u=1.5)
+
+    @given(
+        e_i=st.floats(-100, 100),
+        e_j=st.floats(-100, 100),
+        t_i=st.floats(0.1, 10),
+        t_j=st.floats(0.1, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pair_order_invariance(self, e_i, e_j, t_i, t_j):
+        """Δ(i,j) = Δ(j,i): a swap is one joint move, so the acceptance
+        probability must not depend on which replica is listed first."""
+        d1 = exchange_delta(e_i, t_i, e_j, t_j)
+        d2 = exchange_delta(e_j, t_j, e_i, t_i)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(
+        e=st.floats(-100, 100),
+        t_i=st.floats(0.1, 10),
+        t_j=st.floats(0.1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equal_energies_always_accepted(self, e, t_i, t_j):
+        """Equal energies give Δ=0 — the swap is free and always taken."""
+        assert should_exchange(e, t_i, e, t_j, u=0.0)
+        assert should_exchange(e, t_i, e, t_j, u=0.999)
+
+
+class TestTemperatureLadder:
+    def test_geometric_spacing(self):
+        ladder = TemperatureLadder(1.0, 8.0, 4)
+        ratios = [
+            ladder[i + 1] / ladder[i] for i in range(3)
+        ]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_endpoints(self):
+        ladder = TemperatureLadder(0.5, 2.0, 5)
+        assert ladder[0] == pytest.approx(0.5)
+        assert ladder[4] == pytest.approx(2.0)
+        assert len(ladder) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureLadder(1.0, 2.0, 1)
+        with pytest.raises(ValueError):
+            TemperatureLadder(2.0, 1.0, 4)
+
+
+class TestReplicaExchangeMD:
+    @pytest.fixture(scope="class")
+    def rem(self):
+        rem = ReplicaExchangeMD(
+            n_replicas=4, n_atoms=27, steps_per_segment=8, seed=2
+        )
+        rem.run(8)
+        return rem
+
+    def test_temperature_multiset_preserved(self, rem):
+        """Exchanges permute the ladder; no temperature is lost/duplicated."""
+        current = sorted(rem.ladder_temperatures())
+        original = sorted(rem.ladder.temperatures)
+        assert np.allclose(current, original)
+
+    def test_rung_assignment_is_permutation(self, rem):
+        assert sorted(rem.rung_of_replica) == list(range(4))
+
+    def test_rung_matches_temperature(self, rem):
+        for rep, rung in enumerate(rem.rung_of_replica):
+            assert rem.replicas[rep].temperature == pytest.approx(
+                rem.ladder[rung]
+            )
+
+    def test_some_exchanges_attempted(self, rem):
+        assert len(rem.exchanges) > 0
+        assert 0.0 <= rem.acceptance_rate() <= 1.0
+
+    def test_energy_history_recorded(self, rem):
+        assert len(rem.energy_history) == 8
+        assert all(len(e) == 4 for e in rem.energy_history)
+
+    def test_accepted_record_consistency(self, rem):
+        """Every record's Metropolis exponent is finite and the decision
+        respects delta<=0 ⇒ accepted."""
+        for rec in rem.exchanges:
+            assert np.isfinite(rec.delta)
+            if rec.delta <= 0:
+                assert rec.accepted
+
+    def test_needs_two_replicas(self):
+        with pytest.raises(ValueError):
+            ReplicaExchangeMD(n_replicas=1)
+
+    def test_parity_alternates(self):
+        rem = ReplicaExchangeMD(
+            n_replicas=4, n_atoms=27, steps_per_segment=2, seed=3
+        )
+        rem.segment()
+        rem.exchange_round()
+        rem.segment()
+        rem.exchange_round()
+        rounds = {}
+        for rec in rem.exchanges:
+            rounds.setdefault(rec.round, []).append(rec.pair)
+        # Round 0 pairs rungs (0,1),(2,3): 2 attempts; round 1 pairs (1,2).
+        assert len(rounds[0]) == 2
+        assert len(rounds[1]) == 1
+
+    def test_deterministic(self):
+        def once():
+            rem = ReplicaExchangeMD(
+                n_replicas=3, n_atoms=27, steps_per_segment=4, seed=11
+            )
+            rem.run(4)
+            return rem.acceptance_rate(), rem.rung_of_replica
+
+        assert once() == once()

@@ -1,0 +1,112 @@
+"""Tests for the baseline systems JETS is compared against."""
+
+import pytest
+
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.baselines.falkon import FalkonSimulation, FalkonUnsupportedError
+from repro.baselines.ips import IpsUnsupportedError, run_ips_batch
+from repro.baselines.shellscript import run_shellscript_batch
+from repro.cluster.machine import breadboard, generic_cluster, surveyor
+from repro.core.jets import JetsConfig, Simulation, service_config_for
+from repro.core.tasklist import JobSpec, TaskList
+
+
+def mpi_jobs(count, nodes=4, duration=1.0):
+    return [
+        JobSpec(
+            program=BarrierSleepBarrier(duration), nodes=nodes, ppn=1, mpi=True
+        )
+        for _ in range(count)
+    ]
+
+
+class TestShellScript:
+    def test_runs_all_jobs(self):
+        report = run_shellscript_batch(
+            breadboard(8), mpi_jobs(4), allocation_nodes=8
+        )
+        assert report.jobs_completed == 4
+        assert 0 < report.utilization < 1
+
+    def test_serial_execution_wastes_idle_nodes(self):
+        """4-node jobs on a 32-node allocation: ≤ 1/8 utilization."""
+        report = run_shellscript_batch(
+            breadboard(32), mpi_jobs(6, nodes=4), allocation_nodes=32
+        )
+        assert report.utilization < 0.15
+
+    def test_jets_beats_shellscript(self):
+        machine = breadboard(16)
+        shell = run_shellscript_batch(
+            machine, mpi_jobs(8, nodes=4), allocation_nodes=16
+        )
+        sim = Simulation(
+            machine, JetsConfig(service=service_config_for(machine))
+        )
+        jets = sim.run_standalone(
+            TaskList(mpi_jobs(8, nodes=4)), allocation_nodes=16
+        )
+        assert jets.utilization > 2 * shell.utilization
+
+
+class TestIps:
+    def test_refuses_bgp(self):
+        with pytest.raises(IpsUnsupportedError):
+            run_ips_batch(surveyor(16), mpi_jobs(2))
+
+    def test_runs_concurrently_on_x86(self):
+        report = run_ips_batch(
+            breadboard(16), mpi_jobs(8, nodes=4, duration=2.0),
+            allocation_nodes=16,
+        )
+        assert report.jobs_completed == 8
+        # Concurrent (4 groups): span ~2 batches, far below 8 serial runs.
+        assert report.span < 4 * 2.0 + 4
+
+    def test_mispredictions_recorded(self):
+        report = run_ips_batch(
+            breadboard(8), mpi_jobs(40, nodes=1, duration=0.1),
+            allocation_nodes=8, seed=3,
+        )
+        assert report.mispredictions > 0
+
+    def test_jets_beats_ips_on_short_tasks(self):
+        machine = breadboard(16)
+        ips = run_ips_batch(
+            machine, mpi_jobs(16, nodes=4, duration=1.0), allocation_nodes=16
+        )
+        sim = Simulation(
+            machine, JetsConfig(service=service_config_for(machine))
+        )
+        jets = sim.run_standalone(
+            TaskList(mpi_jobs(16, nodes=4, duration=1.0)), allocation_nodes=16
+        )
+        assert jets.utilization > ips.utilization
+
+
+class TestFalkon:
+    def test_rejects_mpi_jobs(self):
+        falkon = FalkonSimulation(generic_cluster(nodes=4))
+        with pytest.raises(FalkonUnsupportedError):
+            falkon.run_batch(mpi_jobs(1))
+
+    def test_runs_serial_batch(self):
+        falkon = FalkonSimulation(generic_cluster(nodes=4))
+        jobs = [
+            JobSpec(program=SleepProgram(0.5), nodes=1, mpi=False)
+            for _ in range(8)
+        ]
+        report = falkon.run_batch(jobs)
+        assert report.jobs_completed == 8
+
+    def test_serial_rate_comparable_to_jets(self):
+        """Falkon was state of the art for serial MTC; our model gives it
+        the same pilot architecture, so rates match JETS closely."""
+        machine = generic_cluster(nodes=4, cores_per_node=2)
+        jobs = lambda: [
+            JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+            for _ in range(40)
+        ]
+        falkon = FalkonSimulation(machine).run_batch(jobs())
+        jets = Simulation(machine).run_standalone(TaskList(jobs()))
+        assert falkon.task_rate == pytest.approx(jets.task_rate, rel=0.2)

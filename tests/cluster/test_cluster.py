@@ -1,0 +1,208 @@
+"""Tests for machines, nodes, platforms and the batch scheduler."""
+
+import pytest
+
+from repro.cluster.batch import AllocationError, BatchScheduler
+from repro.cluster.machine import (
+    breadboard,
+    eureka,
+    generic_cluster,
+    intrepid,
+    surveyor,
+)
+from repro.cluster.platform import Platform
+from repro.oslayer.process import ExecutableImage
+from tests.conftest import run_gen
+
+
+class TestMachineSpecs:
+    def test_surveyor_shape(self):
+        spec = surveyor()
+        assert spec.nodes == 1024
+        assert spec.cores_per_node == 4
+        assert spec.total_cores == 4096
+        assert spec.topology == "torus"
+
+    def test_eureka_shape(self):
+        spec = eureka()
+        assert spec.nodes == 100
+        assert spec.cores_per_node == 8
+        assert spec.topology == "flat"
+
+    def test_breadboard_is_x86(self):
+        spec = breadboard()
+        assert spec.process_costs.fork_exec < 0.05
+
+    def test_intrepid_site_policy(self):
+        spec = intrepid(2048)
+        assert spec.min_alloc_nodes == 512
+
+    def test_scaled_preserves_everything_else(self):
+        spec = surveyor().scaled(64)
+        assert spec.nodes == 64
+        assert spec.cores_per_node == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generic_cluster(nodes=0)
+
+
+class TestNode:
+    def test_exec_claims_core(self, small_platform):
+        node = small_platform.node(0)
+        img = ExecutableImage("x", 0)
+        node.stage(img)
+        during = []
+
+        def body():
+            during.append(node.busy_cores)
+            yield small_platform.env.timeout(1)
+
+        run_gen(small_platform.env, node.exec_process(img, body))
+        assert during == [1]
+        assert node.busy_cores == 0
+
+    def test_daemon_does_not_claim_core(self, small_platform):
+        node = small_platform.node(0)
+        img = ExecutableImage("d", 0)
+        node.stage(img)
+        during = []
+
+        def body():
+            during.append(node.busy_cores)
+            yield small_platform.env.timeout(1)
+
+        run_gen(
+            small_platform.env,
+            node.exec_process(img, body, claim_core=False, count_busy=False),
+        )
+        assert during == [0]
+
+    def test_core_contention_serializes(self, small_platform):
+        spec = generic_cluster(nodes=1, cores_per_node=1)
+        platform = Platform(spec)
+        node = platform.node(0)
+        img = ExecutableImage("x", 0)
+        node.stage(img)
+        finish = []
+
+        def task():
+            def body():
+                yield platform.env.timeout(1)
+                finish.append(platform.env.now)
+
+            yield from node.exec_process(img, body)
+
+        platform.env.process(task())
+        platform.env.process(task())
+        platform.env.run()
+        assert finish[1] - finish[0] >= 1.0
+
+    def test_busy_gauge_tracks_platform_wide(self, small_platform):
+        env = small_platform.env
+        img = ExecutableImage("x", 0)
+        for node in small_platform.nodes[:2]:
+            node.stage(img)
+
+        def body():
+            yield env.timeout(2)
+
+        env.process(small_platform.node(0).exec_process(img, body))
+        env.process(small_platform.node(1).exec_process(img, body))
+        env.run(1)
+        assert small_platform.busy_cores.value == 2
+        env.run()
+        assert small_platform.busy_cores.value == 0
+
+    def test_failed_node_refuses_exec(self, small_platform):
+        node = small_platform.node(0)
+        node.failed = True
+        img = ExecutableImage("x", 0)
+        with pytest.raises(RuntimeError):
+            run_gen(small_platform.env, node.exec_process(img))
+
+
+class TestPlatform:
+    def test_login_endpoint_past_nodes(self, small_platform):
+        assert small_platform.login_endpoint == 4
+
+    def test_torus_platform_topology(self):
+        platform = Platform(surveyor(8))
+        assert platform.topology.n == 8
+
+    def test_healthy_nodes_excludes_failed(self, small_platform):
+        small_platform.node(2).failed = True
+        assert len(small_platform.healthy_nodes()) == 3
+
+
+class TestBatchScheduler:
+    def test_grant_after_boot(self, small_platform):
+        batch = BatchScheduler(small_platform, boot_delay=7.0)
+        alloc = run_gen(small_platform.env, batch.submit(2, walltime=100))
+        assert alloc.size == 2
+        assert small_platform.env.now == pytest.approx(7.0)
+        assert batch.free_nodes == 2
+
+    def test_release_returns_nodes(self, small_platform):
+        batch = BatchScheduler(small_platform, boot_delay=0)
+        alloc = run_gen(small_platform.env, batch.submit(3, walltime=100))
+        batch.release(alloc)
+        assert batch.free_nodes == 4
+        assert alloc.expired.triggered
+
+    def test_waits_for_free_nodes(self, small_platform):
+        env = small_platform.env
+        batch = BatchScheduler(small_platform, boot_delay=0)
+        grants = []
+
+        def first():
+            alloc = yield from batch.submit(3, walltime=100)
+            yield env.timeout(10)
+            batch.release(alloc)
+
+        def second():
+            yield env.timeout(1)
+            alloc = yield from batch.submit(3, walltime=100)
+            grants.append(env.now)
+
+        env.process(first())
+        env.process(second())
+        env.run()
+        assert grants[0] >= 10
+
+    def test_walltime_expiry_releases(self, small_platform):
+        batch = BatchScheduler(small_platform, boot_delay=0)
+        alloc = run_gen(small_platform.env, batch.submit(4, walltime=5))
+        small_platform.env.run()
+        assert alloc.expired.triggered
+        assert alloc.expired.value == "walltime"
+        assert batch.free_nodes == 4
+
+    def test_policy_minimum_enforced(self):
+        platform = Platform(intrepid(1024))
+        batch = BatchScheduler(platform, boot_delay=0)
+        with pytest.raises(AllocationError):
+            run_gen(platform.env, batch.submit(64, walltime=100))
+
+    def test_too_large_rejected(self, small_platform):
+        batch = BatchScheduler(small_platform)
+        with pytest.raises(AllocationError):
+            run_gen(small_platform.env, batch.submit(10, walltime=100))
+
+    def test_bad_walltime_rejected(self, small_platform):
+        batch = BatchScheduler(small_platform)
+        with pytest.raises(AllocationError):
+            run_gen(small_platform.env, batch.submit(1, walltime=0))
+
+    def test_queue_wait_fn_scales_with_size(self, small_platform):
+        batch = BatchScheduler(
+            small_platform, boot_delay=0, queue_wait_fn=lambda n: 2.0 * n
+        )
+        run_gen(small_platform.env, batch.submit(3, walltime=10))
+        assert small_platform.env.now == pytest.approx(6.0)
+
+    def test_allocation_remaining(self, small_platform):
+        batch = BatchScheduler(small_platform, boot_delay=0)
+        alloc = run_gen(small_platform.env, batch.submit(1, walltime=100))
+        assert alloc.remaining(alloc.start_time + 30) == pytest.approx(70)
+        assert alloc.remaining(alloc.start_time + 1000) == 0

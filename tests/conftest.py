@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+def run_gen(env: Environment, gen):
+    """Run a generator as a process to completion; return its value."""
+    proc = env.process(gen)
+    env.run(proc)
+    return proc.value
+
+
+@pytest.fixture
+def small_platform():
+    """A small generic platform for integration tests."""
+    from repro.cluster.machine import generic_cluster
+    from repro.cluster.platform import Platform
+
+    return Platform(generic_cluster(nodes=4, cores_per_node=4))

@@ -1,0 +1,164 @@
+"""Unit tests for dispatcher internals not covered by integration tests."""
+
+import pytest
+
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.dispatcher import JetsDispatcher, JetsServiceConfig
+from repro.core.tasklist import JobSpec, TaskList
+from repro.core.worker import WorkerAgent
+
+
+def make_dispatcher(nodes=4, **cfg_kwargs):
+    platform = Platform(generic_cluster(nodes=nodes, cores_per_node=2))
+    dispatcher = JetsDispatcher(
+        platform, JetsServiceConfig(**cfg_kwargs), expected_workers=nodes
+    )
+    return platform, dispatcher
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        platform, dispatcher = make_dispatcher()
+        dispatcher.start()
+        with pytest.raises(RuntimeError):
+            dispatcher.start()
+
+    def test_submit_before_workers_queues(self):
+        platform, dispatcher = make_dispatcher(nodes=2)
+        dispatcher.start()
+        done = dispatcher.submit(
+            JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+        )
+        # Workers arrive later; the job waits in the queue, then runs.
+        def late_workers():
+            yield platform.env.timeout(5.0)
+            for node in platform.nodes:
+                WorkerAgent(
+                    platform, node, dispatcher.endpoint, heartbeat_interval=0
+                ).start()
+
+        platform.env.process(late_workers())
+        completed = platform.env.run(done)
+        assert completed.ok
+        assert completed.t_dispatched > 5.0
+
+    def test_submit_returns_same_event_for_resubmission(self):
+        platform, dispatcher = make_dispatcher()
+        job = JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)
+        ev1 = dispatcher.submit(job)
+        assert dispatcher._job_events[job.job_id] is ev1
+
+    def test_drained_waits_for_whole_batch(self):
+        """A synchronously failing job must not fire drained early."""
+        platform, dispatcher = make_dispatcher(nodes=2)
+        dispatcher.start()
+        for node in platform.nodes:
+            WorkerAgent(
+                platform, node, dispatcher.endpoint, heartbeat_interval=0
+            ).start()
+        jobs = [
+            JobSpec(program=BarrierSleepBarrier(0.5), nodes=99, mpi=True),
+            JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False),
+        ]
+        dispatcher.submit_many(TaskList(jobs))
+        platform.env.run(dispatcher.drained)
+        assert dispatcher.jobs_finished == 2
+        ok = {c.job.job_id: c.ok for c in dispatcher.completed}
+        assert list(ok.values()).count(True) == 1
+
+
+class TestAccounting:
+    def test_completed_timestamps_ordered(self):
+        platform, dispatcher = make_dispatcher(nodes=2)
+        dispatcher.start()
+        for node in platform.nodes:
+            WorkerAgent(
+                platform, node, dispatcher.endpoint, heartbeat_interval=0
+            ).start()
+        done = dispatcher.submit(
+            JobSpec(program=BarrierSleepBarrier(0.4), nodes=2, mpi=True)
+        )
+        c = platform.env.run(done)
+        assert c.t_submitted <= c.t_dispatched <= c.t_done
+        assert c.result.t_launch <= c.result.t_app_start
+        assert c.result.t_app_start <= c.result.t_app_end <= c.result.t_done
+
+    def test_serial_result_carries_value_and_timing(self):
+        platform, dispatcher = make_dispatcher(nodes=1)
+        dispatcher.start()
+        WorkerAgent(
+            platform, platform.node(0), dispatcher.endpoint,
+            heartbeat_interval=0,
+        ).start()
+        done = dispatcher.submit(
+            JobSpec(program=SleepProgram(0.3), nodes=1, mpi=False)
+        )
+        c = platform.env.run(done)
+        assert c.result is not None
+        assert c.result.rank0_value == 0
+        assert c.result.app_time > 0
+
+    def test_trace_has_dispatch_and_done_for_each_job(self):
+        platform, dispatcher = make_dispatcher(nodes=2)
+        dispatcher.start()
+        for node in platform.nodes:
+            WorkerAgent(
+                platform, node, dispatcher.endpoint, heartbeat_interval=0
+            ).start()
+        dispatcher.submit_many(
+            TaskList(
+                [
+                    JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)
+                    for _ in range(5)
+                ]
+            )
+        )
+        platform.env.run(dispatcher.drained)
+        assert len(platform.trace.select("job.dispatch")) == 5
+        assert len(platform.trace.select("job.done")) == 5
+
+
+class TestWorkerProtocol:
+    def test_worker_slots_advertised(self):
+        platform, dispatcher = make_dispatcher(nodes=1)
+        dispatcher.start()
+        agent = WorkerAgent(
+            platform, platform.node(0), dispatcher.endpoint,
+            slots=3, heartbeat_interval=0,
+        )
+        agent.start()
+        platform.env.run(platform.env.timeout(1.0))
+        view = dispatcher.aggregator.workers()[0]
+        assert view.slots == 3
+        assert view.free_slots == 3
+
+    def test_tasks_run_counter(self):
+        platform, dispatcher = make_dispatcher(nodes=1)
+        dispatcher.start()
+        agent = WorkerAgent(
+            platform, platform.node(0), dispatcher.endpoint,
+            heartbeat_interval=0,
+        )
+        agent.start()
+        events = [
+            dispatcher.submit(
+                JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)
+            )
+            for _ in range(3)
+        ]
+        platform.env.run(platform.env.all_of(events))
+        assert agent.tasks_run == 3
+
+    def test_last_seen_updated_by_any_message(self):
+        platform, dispatcher = make_dispatcher(nodes=1, heartbeat_interval=2.0)
+        dispatcher.start()
+        agent = WorkerAgent(
+            platform, platform.node(0), dispatcher.endpoint,
+            heartbeat_interval=2.0,
+        )
+        agent.start()
+        platform.env.run(platform.env.timeout(7.0))
+        view = dispatcher.aggregator.workers()[0]
+        assert view.last_seen > 5.0  # heartbeats kept it fresh

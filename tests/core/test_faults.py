@@ -1,0 +1,172 @@
+"""Tests for fault injection, detection and job recovery."""
+
+import pytest
+
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.dispatcher import JetsDispatcher, JetsServiceConfig
+from repro.core.faults import FaultInjector
+from repro.core.jets import FaultSpec, JetsConfig, Simulation
+from repro.core.tasklist import JobSpec, TaskList
+from repro.core.worker import WorkerAgent
+
+
+def start_stack(nodes=4, heartbeat=1.0):
+    platform = Platform(generic_cluster(nodes=nodes, cores_per_node=2))
+    cfg = JetsServiceConfig(heartbeat_interval=heartbeat)
+    dispatcher = JetsDispatcher(platform, cfg, expected_workers=nodes)
+    dispatcher.start()
+    agents = [
+        WorkerAgent(
+            platform, node, dispatcher.endpoint, heartbeat_interval=heartbeat
+        )
+        for node in platform.nodes
+    ]
+    for a in agents:
+        a.start()
+    return platform, dispatcher, agents
+
+
+class TestWorkerDeath:
+    def test_mpi_job_resubmitted_after_worker_kill(self):
+        platform, dispatcher, agents = start_stack(nodes=3)
+        done = dispatcher.submit(
+            JobSpec(
+                program=BarrierSleepBarrier(5.0),
+                nodes=2,
+                mpi=True,
+                max_attempts=5,
+            )
+        )
+
+        def killer():
+            yield platform.env.timeout(2.0)
+            # Kill one worker that is running the job.
+            busy = [a for a in agents if a.alive and a.tasks_run == 0]
+            view_workers = {
+                v.worker_id
+                for v in dispatcher.aggregator.workers()
+                if v.running_jobs
+            }
+            victims = [a for a in busy if a.worker_id in view_workers]
+            victims[0].kill()
+
+        platform.env.process(killer())
+        completed = platform.env.run(done)
+        assert completed.ok  # recovered on surviving workers
+        assert completed.job.attempts >= 1
+        retries = platform.trace.select("job.retry")
+        assert retries
+
+    def test_serial_job_requeued_after_worker_kill(self):
+        platform, dispatcher, agents = start_stack(nodes=2)
+        done = dispatcher.submit(
+            JobSpec(
+                program=SleepProgram(5.0), nodes=1, mpi=False, max_attempts=5
+            )
+        )
+
+        def killer():
+            yield platform.env.timeout(1.0)
+            busy = [
+                v.worker_id
+                for v in dispatcher.aggregator.workers()
+                if v.running_jobs
+            ]
+            for a in agents:
+                if a.worker_id in busy:
+                    a.kill()
+                    break
+
+        platform.env.process(killer())
+        completed = platform.env.run(done)
+        assert completed.ok
+        assert completed.job.attempts >= 1
+
+    def test_job_fails_permanently_after_max_attempts(self):
+        platform, dispatcher, agents = start_stack(nodes=6)
+        job = JobSpec(
+            program=BarrierSleepBarrier(30.0),
+            nodes=2,
+            mpi=True,
+            max_attempts=2,
+        )
+        done = dispatcher.submit(job)
+        by_id = {a.worker_id: a for a in agents}
+
+        def serial_killer():
+            # Kill one participant of each dispatch attempt, leaving
+            # enough survivors that the job *could* be retried — the
+            # failure must come from exhausting max_attempts.
+            while not done.triggered:
+                yield platform.env.timeout(2.0)
+                busy = [
+                    v.worker_id
+                    for v in dispatcher.aggregator.workers()
+                    if v.running_jobs
+                ]
+                for wid in busy[:1]:
+                    agent = by_id[wid]
+                    if agent.alive:
+                        agent.kill()
+
+        platform.env.process(serial_killer())
+        completed = platform.env.run(done)
+        assert not completed.ok
+        assert completed.job.attempts >= 2
+
+    def test_dead_worker_removed_from_pool(self):
+        platform, dispatcher, agents = start_stack(nodes=3, heartbeat=0.5)
+        platform.env.run(platform.env.timeout(1.0))
+        assert len(dispatcher.aggregator.workers()) == 3
+        agents[0].kill()
+        platform.env.run(platform.env.timeout(5.0))
+        assert len(dispatcher.aggregator.workers()) == 2
+        lost = platform.trace.select("worker.lost")
+        assert len(lost) == 1
+
+
+class TestFaultInjector:
+    def test_kills_one_per_interval_until_none_left(self):
+        platform, dispatcher, agents = start_stack(nodes=4)
+        injector = FaultInjector(platform, agents, interval=1.0)
+        injector.start()
+        platform.env.run(platform.env.timeout(10.0))
+        assert len(injector.kills) == 4
+        assert all(not a.alive for a in agents)
+        # Kill times are one per interval.
+        times = [t for t, _w in injector.kills]
+        assert times == sorted(times)
+        assert times[0] >= 1.0
+
+    def test_deterministic_given_seed(self):
+        def victims(seed):
+            platform, dispatcher, agents = start_stack(nodes=4)
+            platform.rng.seed = seed
+            platform.rng.reset()
+            injector = FaultInjector(platform, agents, interval=1.0)
+            injector.start()
+            platform.env.run(platform.env.timeout(10.0))
+            # Worker ids are globally sequenced; compare *positions*.
+            index = {a.worker_id: i for i, a in enumerate(agents)}
+            return [(t, index[w]) for t, w in injector.kills]
+
+        assert victims(1) == victims(1)
+
+    def test_interval_validation(self, small_platform):
+        with pytest.raises(ValueError):
+            FaultInjector(small_platform, [], interval=0)
+
+
+class TestEndToEndFaulty:
+    def test_standalone_fault_run_maintains_progress(self):
+        sim = Simulation(generic_cluster(nodes=4, cores_per_node=1))
+        tasks = TaskList.from_lines(["SERIAL: sleep 0.5"] * 400)
+        report = sim.run_standalone(
+            tasks, faults=FaultSpec(interval=3.0), until=60.0
+        )
+        assert report.faults_injected >= 4
+        assert report.jobs_completed > 10
+        # No phantom successes: completed + failed <= submitted.
+        assert report.jobs_completed + report.jobs_failed <= report.jobs_total

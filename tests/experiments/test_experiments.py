@@ -1,0 +1,134 @@
+"""Reduced-scale runs of every experiment harness, with the paper's
+qualitative claims asserted where the reduced scale supports them."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    capacity,
+    fig06_sequential,
+    fig07_cluster,
+    fig08_pingpong,
+    fig09_bgp,
+    fig10_faults,
+    fig11_namd_dist,
+    fig12_namd_util,
+    fig15_swift_synthetic,
+    fig18_rem,
+)
+
+
+class TestFig06:
+    def test_rate_grows_with_allocation(self):
+        rows = fig06_sequential.run(node_sizes=(16, 64), tasks_per_node=8)
+        assert rows[1]["rate"] > rows[0]["rate"]
+        assert all(r["completed"] == r["nodes"] * 8 for r in rows)
+
+    def test_rate_below_ideal(self):
+        rows = fig06_sequential.run(node_sizes=(16,), tasks_per_node=8)
+        assert rows[0]["rate"] <= rows[0]["ideal"]
+
+
+class TestFig07:
+    def test_jets_beats_shellscript(self):
+        rows = fig07_cluster.run(alloc_sizes=(8, 16), jobs_per_node=4)
+        fig07_cluster.verify(rows)
+
+
+class TestFig08:
+    def test_pingpong_shape(self):
+        rows = fig08_pingpong.run()
+        fig08_pingpong.verify(rows)
+
+    def test_latency_grows_with_size(self):
+        rows = fig08_pingpong.run(sizes=[64, 1 << 20])
+        assert rows[1]["tcp_us"] > rows[0]["tcp_us"]
+        assert rows[1]["native_us"] > rows[0]["native_us"]
+
+
+class TestFig09:
+    def test_small_grid(self):
+        rows = fig09_bgp.run(
+            alloc_sizes=(32,), task_sizes=(4, 8), tasks_per_node=4
+        )
+        assert all(0.5 < r["util"] <= 1.0 for r in rows)
+        assert all(r["wireup_ms"] > 0 for r in rows)
+
+
+class TestFig10:
+    def test_fault_run(self):
+        result = fig10_faults.run(workers=8, fault_interval=4.0, sample_dt=4.0)
+        fig10_faults.verify(result)
+
+
+class TestFig11:
+    def test_distribution(self):
+        result = fig11_namd_dist.run(n_jobs=400)
+        fig11_namd_dist.verify(result)
+
+
+class TestFig12:
+    def test_small_namd_batch(self):
+        rows = fig12_namd_util.run(
+            alloc_sizes=(32,), executions_per_node=4, keep_platform=True
+        )
+        assert rows[0]["util"] > 0.8
+        load = fig12_namd_util.load_level(rows[0]["report"])
+        fig12_namd_util.verify_load(load, 32)
+
+
+class TestFig15:
+    def test_grid_runs(self):
+        rows = fig15_swift_synthetic.run(
+            alloc_sizes=(8,), nodes_per_job=(1, 2), ppns=(1, 4),
+            jobs_per_node=4,
+        )
+        assert all(r["util"] > 0 for r in rows)
+        fig15_swift_synthetic.verify(rows)
+
+
+class TestFig18:
+    def test_serial_and_mpi(self):
+        serial = fig18_rem.run_serial(alloc_sizes=(4, 8), n_exchanges=2)
+        mpi = fig18_rem.run_mpi(alloc_sizes=(8, 16), n_exchanges=2)
+        assert all(0 < r["util"] <= 1.0 for r in serial + mpi)
+        assert all(r["failures"] == 0 for r in serial + mpi)
+        assert serial[0]["segments"] == 2 * 4 * 2
+
+
+class TestCapacity:
+    def test_scaled_requirement(self):
+        result = capacity.run(scale=32, rounds=2)
+        capacity.verify(result)
+
+
+class TestAblations:
+    def test_staging(self):
+        rows = ablations.run_staging(nodes=8, jobs=16)
+        assert len(rows) == 2
+
+    def test_scheduling(self):
+        rows = ablations.run_scheduling(nodes=8)
+        assert {r["policy"] for r in rows} == {"fifo", "priority", "backfill"}
+
+    def test_grouping(self):
+        rows = ablations.run_grouping(nodes=27, jobs=12)
+        assert {r["grouping"] for r in rows} == {"fifo", "topology"}
+
+    def test_spectrum(self):
+        rows = ablations.run_spectrum(workers=16)
+        assert rows[1]["t_first_worker"] < rows[0]["t_first_worker"]
+
+    def test_dispatcher_sensitivity(self):
+        rows = ablations.run_dispatcher_sensitivity(
+            nodes=32, spawn_factors=(1.0, 16.0)
+        )
+        assert rows[-1]["util"] <= rows[0]["util"]
+
+
+class TestMpiio:
+    def test_crossover(self):
+        from repro.experiments import mpiio
+
+        rows = mpiio.run(alphas=(0.0, 1.0), rounds=4)
+        mpiio.verify(rows)

@@ -1,0 +1,132 @@
+"""Tests for utilization (Eq. 1), timelines and statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import ascii_series, ascii_table, histogram, summarize
+from repro.metrics.timeline import sample_series, step_series
+from repro.metrics.utilization import UtilizationLedger, equation1
+
+
+class TestEquation1:
+    def test_paper_formula(self):
+        # duration × jobs × n / (alloc × time)
+        assert equation1(10, 6, 4, 16, 180) == pytest.approx(
+            10 * 6 * 4 / (16 * 180)
+        )
+
+    def test_perfect_utilization(self):
+        # 2 back-to-back 10-s jobs filling a 4-node allocation for 20 s.
+        assert equation1(10, 2, 4, 4, 20) == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        assert equation1(1, 1, 1, 1, 0) == 0.0
+
+    def test_alloc_validation(self):
+        with pytest.raises(ValueError):
+            equation1(1, 1, 1, 0, 1)
+
+
+class TestLedger:
+    def test_accumulates_and_spans(self):
+        ledger = UtilizationLedger(8)
+        ledger.add(duration=5, n=4, t_start=0, t_end=6)
+        ledger.add(duration=5, n=4, t_start=1, t_end=11)
+        assert ledger.jobs == 2
+        assert ledger.span == 11
+        assert ledger.node_seconds() == 40
+        assert ledger.utilization() == pytest.approx(40 / (8 * 11))
+
+    def test_long_tail_charged(self):
+        """A straggler stretches the span and lowers utilization."""
+        ledger = UtilizationLedger(4)
+        ledger.add(1, 4, 0, 1)
+        base = ledger.utilization()
+        ledger.add(1, 4, 1, 50)  # massive tail
+        assert ledger.utilization() < base / 5
+
+    def test_explicit_time_override(self):
+        ledger = UtilizationLedger(2)
+        ledger.add(1, 2, 0, 1)
+        assert ledger.utilization(time=10) == pytest.approx(2 / 20)
+
+    def test_empty(self):
+        ledger = UtilizationLedger(4)
+        assert ledger.utilization() == 0.0
+        assert ledger.span == 0.0
+
+    def test_bad_interval(self):
+        ledger = UtilizationLedger(1)
+        with pytest.raises(ValueError):
+            ledger.add(1, 1, 5, 4)
+
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.floats(0.1, 10),  # duration
+                st.integers(1, 8),  # nodes
+                st.floats(0, 100),  # start
+                st.floats(0.1, 20),  # length
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_nonnegative(self, jobs):
+        ledger = UtilizationLedger(8)
+        for d, n, s, length in jobs:
+            ledger.add(d, n, s, s + length)
+        assert ledger.utilization() >= 0
+
+
+class TestStepSeries:
+    def test_counts_opens(self):
+        series = dict(step_series([0, 1, 2], [3, 4, 5]))
+        assert series[0] == 1
+        assert series[2] == 3
+        assert series[5] == 0
+
+    def test_sample_series_grid(self):
+        series = [(0.0, 0), (1.0, 5), (3.0, 2)]
+        t, v = sample_series(series, 0, 4, 1.0)
+        assert list(v) == [0, 5, 5, 2, 2]
+
+    def test_sample_empty(self):
+        t, v = sample_series([], 0, 2, 1.0)
+        assert list(v) == [0, 0, 0]
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            sample_series([], 0, 1, 0)
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == 3
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.p50 == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_histogram_covers_all(self):
+        rows = histogram(np.arange(100), bins=10)
+        assert sum(c for _lo, _hi, c in rows) == 100
+
+    def test_ascii_table_renders(self):
+        out = ascii_table(["a", "b"], [[1, 2.5], [30, "x"]])
+        assert "a" in out and "30" in out
+        assert len(out.splitlines()) == 4
+
+    def test_ascii_series_renders(self):
+        out = ascii_series([(0, 1), (1, 5), (2, 2)], label="load")
+        assert out.startswith("load")
+
+    def test_ascii_series_empty(self):
+        assert "(empty)" in ascii_series([], label="x")

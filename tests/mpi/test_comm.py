@@ -1,0 +1,249 @@
+"""Tests for the simulated MPI communicator and its collectives."""
+
+import pytest
+
+from repro.netsim.fabric import ETHERNET, NATIVE_BGP, TCP_ZEPTO_BGP, Fabric
+from repro.mpi.comm import MpiAbort, SimComm
+from repro.simkernel import Environment
+
+
+def make_comm(n, fabric_spec=ETHERNET):
+    env = Environment()
+    fabric = Fabric(env, fabric_spec)
+    comm = SimComm(env, fabric, list(range(n)))
+    return env, comm
+
+
+def run_spmd(env, comm, rank_fn):
+    """Run rank_fn(rank) on every rank; returns list of results by rank."""
+    results = [None] * comm.size
+    procs = []
+
+    def wrap(r):
+        results[r] = yield from rank_fn(r)
+
+    for r in range(comm.size):
+        procs.append(env.process(wrap(r)))
+    env.run(env.all_of(procs))
+    return results
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        env, comm = make_comm(2)
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send(0, 1, {"data": 42}, 100, tag="t")
+                return None
+            src, tag, payload = yield from comm.recv(1, source=0, tag="t")
+            return (src, tag, payload)
+
+        results = run_spmd(env, comm, body)
+        assert results[1] == (0, "t", {"data": 42})
+
+    def test_tag_matching_out_of_order(self):
+        env, comm = make_comm(2)
+
+        def body(rank):
+            if rank == 0:
+                yield from comm.send(0, 1, "first", 10, tag="a")
+                yield from comm.send(0, 1, "second", 10, tag="b")
+                return None
+            # Receive tag b before tag a.
+            _, _, pb = yield from comm.recv(1, source=0, tag="b")
+            _, _, pa = yield from comm.recv(1, source=0, tag="a")
+            return (pa, pb)
+
+        results = run_spmd(env, comm, body)
+        assert results[1] == ("first", "second")
+
+    def test_any_source_any_tag(self):
+        env, comm = make_comm(3)
+
+        def body(rank):
+            if rank in (0, 1):
+                yield from comm.send(rank, 2, f"from{rank}", 10, tag=rank)
+                return None
+            got = []
+            for _ in range(2):
+                s, t, p = yield from comm.recv(2)
+                got.append(p)
+            return sorted(got)
+
+        results = run_spmd(env, comm, body)
+        assert results[2] == ["from0", "from1"]
+
+    def test_rendezvous_adds_latency(self):
+        env1, comm1 = make_comm(2)
+        env2, comm2 = make_comm(2)
+        small = SimComm.RENDEZVOUS_BYTES
+        t_eager = self._one_msg_time(env1, comm1, small)
+        t_rendezvous = self._one_msg_time(env2, comm2, small + 1)
+        assert t_rendezvous > t_eager
+
+    @staticmethod
+    def _one_msg_time(env, comm, nbytes):
+        def body(rank):
+            if rank == 0:
+                yield from comm.send(0, 1, None, nbytes, tag=0)
+                return None
+            yield from comm.recv(1, source=0, tag=0)
+            return env.now
+
+        return run_spmd(env, comm, body)[1]
+
+    def test_rank_validation(self):
+        env, comm = make_comm(2)
+        with pytest.raises(ValueError):
+            list(comm.send(0, 5))
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_barrier_releases_all_after_last_arrival(self, n):
+        env, comm = make_comm(n)
+        release = [None] * n
+
+        def body(rank):
+            yield env.timeout(rank)  # staggered arrival; last at t=n-1
+            yield from comm.barrier(rank)
+            release[rank] = env.now
+            return None
+
+        run_spmd(env, comm, body)
+        assert all(t >= n - 1 for t in release)
+        # releases cluster tightly after the last arrival
+        assert max(release) - min(release) < 0.1
+
+    def test_two_barriers_back_to_back(self):
+        env, comm = make_comm(4)
+
+        def body(rank):
+            yield from comm.barrier(rank)
+            yield from comm.barrier(rank)
+            return env.now
+
+        results = run_spmd(env, comm, body)
+        assert all(r is not None for r in results)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (5, 2), (8, 7), (9, 3)])
+    def test_bcast_delivers_root_value(self, n, root):
+        env, comm = make_comm(n)
+
+        def body(rank):
+            payload = f"from-{root}" if rank == root else None
+            value = yield from comm.bcast(rank, root, payload, 1024)
+            return value
+
+        results = run_spmd(env, comm, body)
+        assert results == [f"from-{root}"] * n
+
+    def test_bcast_large_message_slower(self):
+        def elapsed(nbytes):
+            env, comm = make_comm(4)
+
+            def body(rank):
+                yield from comm.bcast(rank, 0, "v", nbytes)
+                return env.now
+
+            return max(run_spmd(env, comm, body))
+
+        assert elapsed(4 << 20) > elapsed(64)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7])
+    def test_allgather_collects_all(self, n):
+        env, comm = make_comm(n)
+
+        def body(rank):
+            values = yield from comm.allgather(rank, rank * 10, 64)
+            return values
+
+        results = run_spmd(env, comm, body)
+        expected = [r * 10 for r in range(n)]
+        assert all(res == expected for res in results)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_sum_power_of_two(self, n):
+        env, comm = make_comm(n)
+
+        def body(rank):
+            total = yield from comm.allreduce(rank, rank + 1)
+            return total
+
+        results = run_spmd(env, comm, body)
+        assert results == [n * (n + 1) // 2] * n
+
+    @pytest.mark.parametrize("n", [3, 5, 6])
+    def test_sum_non_power_of_two(self, n):
+        env, comm = make_comm(n)
+
+        def body(rank):
+            total = yield from comm.allreduce(rank, rank + 1)
+            return total
+
+        results = run_spmd(env, comm, body)
+        assert results == [n * (n + 1) // 2] * n
+
+    def test_custom_op(self):
+        env, comm = make_comm(4)
+
+        def body(rank):
+            m = yield from comm.allreduce(rank, rank, op=max)
+            return m
+
+        results = run_spmd(env, comm, body)
+        assert results == [3, 3, 3, 3]
+
+
+class TestFabricEffects:
+    def test_tcp_barrier_slower_than_native(self):
+        def barrier_time(spec):
+            env, comm = make_comm(8, spec)
+
+            def body(rank):
+                yield from comm.barrier(rank)
+                return env.now
+
+            return max(run_spmd(env, comm, body))
+
+        assert barrier_time(TCP_ZEPTO_BGP) > 3 * barrier_time(NATIVE_BGP)
+
+
+class TestAbort:
+    def test_abort_wakes_blocked_receivers(self):
+        env, comm = make_comm(2)
+        outcome = {}
+
+        def blocked():
+            try:
+                yield from comm.recv(1, source=0, tag="never")
+            except MpiAbort:
+                outcome["aborted"] = env.now
+
+        def killer():
+            yield env.timeout(5)
+            comm.abort()
+
+        env.process(blocked())
+        env.process(killer())
+        env.run()
+        assert outcome["aborted"] == 5
+        assert comm.aborted
+
+    def test_send_after_abort_raises(self):
+        env, comm = make_comm(2)
+        comm.abort()
+        with pytest.raises(MpiAbort):
+            list(comm.send(0, 1))
+
+    def test_double_abort_is_noop(self):
+        env, comm = make_comm(2)
+        comm.abort()
+        comm.abort()

@@ -1,0 +1,97 @@
+"""Tests for the PMI key-value space."""
+
+import pytest
+
+from repro.mpi.pmi import PmiError, PmiKvs
+
+
+class TestPmiKvs:
+    def test_put_invisible_before_fence(self, env):
+        kvs = PmiKvs(env, 2)
+        kvs.put(0, "addr-0", "n0")
+        assert not kvs.has("addr-0")
+        with pytest.raises(PmiError):
+            kvs.get(1, "addr-0")
+
+    def test_fence_commits_puts(self, env):
+        kvs = PmiKvs(env, 2)
+        kvs.put(0, "addr-0", "n0")
+        kvs.put(1, "addr-1", "n1")
+        done = []
+
+        def rank(r):
+            yield kvs.fence(r)
+            done.append((r, kvs.get(r, "addr-0"), kvs.get(r, "addr-1")))
+
+        env.process(rank(0))
+        env.process(rank(1))
+        env.run()
+        assert sorted(done) == [(0, "n0", "n1"), (1, "n0", "n1")]
+        assert kvs.fence_generation == 1
+
+    def test_fence_blocks_until_all_ranks(self, env):
+        kvs = PmiKvs(env, 3)
+        times = []
+
+        def rank(r, delay):
+            yield env.timeout(delay)
+            yield kvs.fence(r)
+            times.append(env.now)
+
+        env.process(rank(0, 0))
+        env.process(rank(1, 1))
+        env.process(rank(2, 5))
+        env.run()
+        assert times == [5, 5, 5]
+
+    def test_double_fence_same_generation_rejected(self, env):
+        kvs = PmiKvs(env, 2)
+        kvs.fence(0)
+        with pytest.raises(PmiError):
+            kvs.fence(0)
+
+    def test_second_fence_generation(self, env):
+        kvs = PmiKvs(env, 1)
+
+        def rank():
+            kvs.put(0, "k1", 1)
+            yield kvs.fence(0)
+            kvs.put(0, "k2", 2)
+            yield kvs.fence(0)
+            return kvs.get(0, "k1"), kvs.get(0, "k2")
+
+        p = env.process(rank())
+        env.run()
+        assert p.value == (1, 2)
+        assert kvs.fence_generation == 2
+
+    def test_duplicate_put_rejected(self, env):
+        kvs = PmiKvs(env, 2)
+        kvs.put(0, "k", 1)
+        with pytest.raises(PmiError):
+            kvs.put(1, "k", 2)
+
+    def test_rank_range_checked(self, env):
+        kvs = PmiKvs(env, 2)
+        with pytest.raises(PmiError):
+            kvs.put(5, "k", 1)
+        with pytest.raises(PmiError):
+            kvs.fence(-1)
+
+    def test_snapshot(self, env):
+        kvs = PmiKvs(env, 1)
+        kvs.put(0, "a", 1)
+        env.process(self._fence_once(kvs))
+        env.run()
+        snap = kvs.snapshot()
+        assert snap == {"a": 1}
+        snap["b"] = 2
+        assert not kvs.has("b")  # snapshot is a copy
+
+    @staticmethod
+    def _fence_once(kvs):
+        yield kvs.fence(0)
+
+    def test_size_validation(self, env):
+        with pytest.raises(ValueError):
+            PmiKvs(env, 0)

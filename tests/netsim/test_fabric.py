@@ -1,0 +1,111 @@
+"""Tests for fabric cost models."""
+
+import pytest
+
+from repro.netsim.fabric import (
+    ETHERNET,
+    NATIVE_BGP,
+    TCP_ZEPTO_BGP,
+    Fabric,
+    FabricSpec,
+)
+from repro.netsim.topology import Torus3D
+from repro.simkernel import Environment
+
+
+class TestFabricSpec:
+    def test_transfer_time_monotonic_in_size(self):
+        for spec in (NATIVE_BGP, TCP_ZEPTO_BGP, ETHERNET):
+            times = [spec.transfer_time(n) for n in (0, 1, 1024, 1 << 20)]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+
+    def test_transfer_time_monotonic_in_hops(self):
+        assert NATIVE_BGP.transfer_time(0, hops=8) > NATIVE_BGP.transfer_time(
+            0, hops=1
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NATIVE_BGP.transfer_time(-1)
+
+    def test_paper_fig8_shape_small_messages(self):
+        """TCP latency is more than an order of magnitude above native."""
+        native = NATIVE_BGP.transfer_time(1)
+        tcp = TCP_ZEPTO_BGP.transfer_time(1)
+        assert tcp > 10 * native
+
+    def test_paper_fig8_shape_bandwidth(self):
+        """Large-message bandwidth: native faster, but same order."""
+        n = 4 << 20
+        bw_native = n / NATIVE_BGP.transfer_time(n)
+        bw_tcp = n / TCP_ZEPTO_BGP.transfer_time(n)
+        assert bw_native > bw_tcp > bw_native / 4
+
+    def test_segmentation_cost_applies(self):
+        spec = FabricSpec(
+            name="t", latency=1e-6, bandwidth=1e9,
+            segment_bytes=1000, per_segment_cost=1e-5,
+        )
+        one_seg = spec.transfer_time(999)
+        two_seg = spec.transfer_time(1001)
+        assert two_seg - one_seg > 0.9e-5
+
+
+class TestFabric:
+    def test_hops_with_topology(self):
+        env = Environment()
+        topo = Torus3D((2, 2, 2))
+        fabric = Fabric(env, NATIVE_BGP, topo)
+        assert fabric.hops(0, 0) == 0
+        assert fabric.hops(0, 7) == topo.hops(0, 7)
+
+    def test_external_endpoint_uses_external_hops(self):
+        env = Environment()
+        topo = Torus3D((2, 2, 2))
+        fabric = Fabric(env, NATIVE_BGP, topo, external_hops=6)
+        assert fabric.hops(0, 8) == 6  # login host = id 8, outside torus
+        assert fabric.hops(8, 3) == 6
+
+    def test_no_topology_single_hop(self):
+        env = Environment()
+        fabric = Fabric(env, ETHERNET)
+        assert fabric.hops(0, 99) == 1
+
+    def test_loopback_cheap(self):
+        env = Environment()
+        fabric = Fabric(env, TCP_ZEPTO_BGP)
+        assert fabric.transfer_time(3, 3, 1 << 20) < fabric.transfer_time(
+            3, 4, 1 << 20
+        )
+
+    def test_rtt_sums_both_ways(self):
+        env = Environment()
+        fabric = Fabric(env, ETHERNET)
+        assert fabric.rtt(0, 1, 100) == pytest.approx(
+            fabric.transfer_time(0, 1, 100) + fabric.transfer_time(1, 0, 0)
+        )
+
+    def test_transfer_generator_advances_clock(self):
+        env = Environment()
+        fabric = Fabric(env, ETHERNET)
+
+        def proc():
+            yield from fabric.transfer(0, 1, 1 << 20)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(fabric.transfer_time(0, 1, 1 << 20))
+
+    def test_delivery_event_carries_value(self):
+        env = Environment()
+        fabric = Fabric(env, ETHERNET)
+
+        def proc():
+            v = yield fabric.delivery(0, 1, 10, value="payload")
+            return v
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "payload"

@@ -1,0 +1,199 @@
+"""Tests for the socket layer: connect, messaging, ordering, close."""
+
+import pytest
+
+from repro.netsim.fabric import ETHERNET, Fabric
+from repro.netsim.sockets import ConnectionClosed, Network
+from repro.simkernel import Environment
+
+
+def make_net():
+    env = Environment()
+    return env, Network(env, Fabric(env, ETHERNET))
+
+
+class TestConnect:
+    def test_handshake_and_roundtrip(self):
+        env, net = make_net()
+        log = []
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            msg = yield sock.recv()
+            log.append(msg.payload)
+            yield sock.send("reply", 64)
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            yield sock.send("hello", 64)
+            reply = yield sock.recv()
+            log.append(reply.payload)
+
+        env.process(server())
+        p = env.process(client())
+        env.run(p)
+        assert log == ["hello", "reply"]
+
+    def test_connect_refused_without_listener(self):
+        env, net = make_net()
+
+        def client():
+            try:
+                yield from net.connect(0, 1, "nothing")
+            except ConnectionClosed:
+                return "refused"
+
+        p = env.process(client())
+        env.run()
+        assert p.value == "refused"
+
+    def test_handshake_costs_time(self):
+        env, net = make_net()
+        net.listen(1, "svc")
+
+        def client():
+            yield from net.connect(0, 1, "svc")
+            return env.now
+
+        p = env.process(client())
+        env.run(p)
+        assert p.value > 0
+
+    def test_duplicate_bind_rejected(self):
+        env, net = make_net()
+        net.listen(1, "svc")
+        with pytest.raises(ValueError):
+            net.listen(1, "svc")
+
+    def test_listener_close_unbinds(self):
+        env, net = make_net()
+        lis = net.listen(1, "svc")
+        lis.close()
+        net.listen(1, "svc")  # rebind allowed
+
+
+class TestMessaging:
+    def test_fifo_ordering_mixed_sizes(self):
+        """A large message sent first cannot be overtaken by a small one."""
+        env, net = make_net()
+        received = []
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            for _ in range(2):
+                msg = yield sock.recv()
+                received.append(msg.payload)
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            sock.send("big", 8 << 20)
+            sock.send("small", 1)
+            yield env.timeout(0)
+
+        env.process(server())
+        env.process(client())
+        env.run()
+        assert received == ["big", "small"]
+
+    def test_bigger_messages_take_longer(self):
+        env, net = make_net()
+        times = {}
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            t0 = env.now
+            yield sock.recv()
+            times["arrival"] = env.now - t0
+
+        def client(nbytes):
+            sock = yield from net.connect(0, 1, "svc")
+            yield sock.send("x", nbytes)
+
+        for nbytes in (1, 1 << 20):
+            env, net = make_net()
+            env.process(server())
+            env.process(client(nbytes))
+            env.run()
+            times[nbytes] = times["arrival"]
+        assert times[1 << 20] > times[1]
+
+    def test_bidirectional_independent(self):
+        env, net = make_net()
+        out = []
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            yield sock.send("s1", 10)
+            msg = yield sock.recv()
+            out.append(msg.payload)
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            yield sock.send("c1", 10)
+            msg = yield sock.recv()
+            out.append(msg.payload)
+
+        env.process(server())
+        env.process(client())
+        env.run()
+        assert sorted(out) == ["c1", "s1"]
+
+
+class TestClose:
+    def test_recv_on_closed_peer_fails_after_drain(self):
+        env, net = make_net()
+        result = {}
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            msg = yield sock.recv()
+            result["msg"] = msg.payload
+            try:
+                yield sock.recv()
+            except ConnectionClosed:
+                result["closed"] = True
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            yield sock.send("last", 10)
+            sock.close()
+
+        env.process(server())
+        env.process(client())
+        env.run()
+        assert result == {"msg": "last", "closed": True}
+
+    def test_send_on_closed_socket_fails(self):
+        env, net = make_net()
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            sock.close()
+            try:
+                yield sock.send("x", 1)
+            except ConnectionClosed:
+                return "send failed"
+
+        net.listen(1, "svc")
+        p = env.process(client())
+        env.run(p)
+        assert p.value == "send failed"
+
+    def test_double_close_is_noop(self):
+        env, net = make_net()
+        net.listen(1, "svc")
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            sock.close()
+            sock.close()
+            return sock.closed
+
+        p = env.process(client())
+        env.run(p)
+        assert p.value is True

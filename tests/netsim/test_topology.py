@@ -1,0 +1,81 @@
+"""Tests for torus/flat topologies."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.topology import SwitchedFlat, Torus3D, torus_dims_for
+
+
+class TestTorus3D:
+    def test_coords_roundtrip(self):
+        t = Torus3D((4, 2, 3))
+        for node in range(t.n):
+            assert t.node_id(t.coords(node)) == node
+
+    def test_hops_zero_for_self(self):
+        t = Torus3D((2, 2, 2))
+        assert t.hops(3, 3) == 0
+
+    def test_hops_symmetric(self):
+        t = Torus3D((4, 4, 2))
+        for a, b in [(0, 5), (3, 30), (7, 7), (1, 31)]:
+            assert t.hops(a, b) == t.hops(b, a)
+
+    def test_wraparound_distance(self):
+        t = Torus3D((8, 1, 1))
+        # 0 and 7 are adjacent through the wrap link.
+        assert t.hops(0, 7) == 1
+        assert t.hops(0, 4) == 4
+
+    def test_hops_match_networkx_shortest_paths(self):
+        t = Torus3D((3, 3, 2))
+        g = t.graph()
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for a in range(t.n):
+            for b in range(t.n):
+                assert t.hops(a, b) == lengths[a][b], (a, b)
+
+    def test_out_of_range_rejected(self):
+        t = Torus3D((2, 2, 2))
+        with pytest.raises(ValueError):
+            t.hops(0, 8)
+        with pytest.raises(ValueError):
+            t.coords(9)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Torus3D((0, 2, 2))
+
+
+class TestSwitchedFlat:
+    def test_two_hops_between_distinct(self):
+        t = SwitchedFlat(10)
+        assert t.hops(0, 9) == 2
+        assert t.hops(4, 4) == 0
+
+    def test_needs_positive_size(self):
+        with pytest.raises(ValueError):
+            SwitchedFlat(0)
+
+
+class TestTorusDimsFor:
+    @given(n=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=80, deadline=None)
+    def test_dims_multiply_to_n(self, n):
+        dims = torus_dims_for(n)
+        assert dims[0] * dims[1] * dims[2] == n
+
+    def test_power_of_two_near_cubic(self):
+        dims = torus_dims_for(512)
+        assert sorted(dims) == [8, 8, 8]
+
+    def test_bgp_rack(self):
+        x, y, z = torus_dims_for(1024)
+        assert x * y * z == 1024
+        assert max(x, y, z) / min(x, y, z) <= 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            torus_dims_for(0)

@@ -1,0 +1,118 @@
+"""Tests for shared/local filesystem models."""
+
+import pytest
+
+from repro.oslayer.filesystem import (
+    GPFS,
+    PVFS,
+    RAMFS_SPEC,
+    FilesystemSpec,
+    LocalRamFS,
+    SharedFilesystem,
+)
+from repro.simkernel import Environment
+
+
+class TestSharedFilesystem:
+    def test_read_takes_modelled_time(self, env):
+        fs = SharedFilesystem(env, GPFS)
+
+        def proc():
+            yield from fs.read(1 << 20)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(fs.estimate(1 << 20))
+        assert fs.bytes_read == 1 << 20
+
+    def test_contention_slows_concurrent_clients(self, env):
+        fs = SharedFilesystem(env, GPFS)
+        finish = []
+
+        def reader():
+            yield from fs.read(8 << 20)
+            finish.append(env.now)
+
+        for _ in range(16):
+            env.process(reader())
+        env.run()
+        contended = max(finish)
+
+        env2 = Environment()
+        fs2 = SharedFilesystem(env2, GPFS)
+
+        def single():
+            yield from fs2.read(8 << 20)
+            return env2.now
+
+        p = env2.process(single())
+        env2.run()
+        assert contended > p.value * 1.3
+
+    def test_contention_capped(self, env):
+        spec = FilesystemSpec(
+            name="t", metadata_latency=0, latency=0, bandwidth=1e6,
+            contention_alpha=10.0, contention_cap=5.0,
+        )
+        fs = SharedFilesystem(env, spec)
+        fs._active = 100
+        assert fs._factor() == 5.0
+
+    def test_active_client_count_restored_on_completion(self, env):
+        fs = SharedFilesystem(env, PVFS)
+
+        def reader():
+            yield from fs.read(1024)
+
+        env.process(reader())
+        env.process(reader())
+        env.run()
+        assert fs.active_clients == 0
+
+    def test_write_accounting(self, env):
+        fs = SharedFilesystem(env, PVFS)
+
+        def writer():
+            yield from fs.write(2048)
+
+        env.process(writer())
+        env.run()
+        assert fs.bytes_written == 2048
+
+
+class TestLocalRamFS:
+    def test_store_and_read(self, env):
+        ram = LocalRamFS(env)
+        ram.store("libfoo", 4096)
+        assert ram.has("libfoo")
+        assert ram.size("libfoo") == 4096
+        assert ram.files() == ["libfoo"]
+
+        def proc():
+            yield from ram.read("libfoo")
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert 0 < p.value < 1e-3  # RAM-fast
+
+    def test_missing_file_raises(self, env):
+        ram = LocalRamFS(env)
+        with pytest.raises(KeyError):
+            ram.size("nope")
+
+    def test_negative_size_rejected(self, env):
+        ram = LocalRamFS(env)
+        with pytest.raises(ValueError):
+            ram.store("x", -1)
+
+    def test_ramfs_much_faster_than_gpfs(self, env):
+        ram = LocalRamFS(env)
+        ram.store("bin", 1 << 20)
+        shared = SharedFilesystem(env, GPFS)
+        assert shared.estimate(1 << 20) > 5 * (
+            RAMFS_SPEC.metadata_latency
+            + RAMFS_SPEC.latency
+            + (1 << 20) / RAMFS_SPEC.bandwidth
+        )

@@ -1,0 +1,116 @@
+"""Tests for the process model and ZeptoOS configuration."""
+
+import pytest
+
+from repro.cluster.machine import generic_cluster, surveyor
+from repro.cluster.platform import Platform
+from repro.oslayer.process import ExecutableImage, ProcessCostSpec
+from repro.oslayer.zeptoos import (
+    CNK_DEFAULT,
+    LINUX,
+    NodeCapabilityError,
+    ZEPTO_TUNED,
+)
+from tests.conftest import run_gen
+
+
+class TestExecutableImage:
+    def test_total_bytes_includes_libraries(self):
+        img = ExecutableImage(
+            "app", 100, libraries=(ExecutableImage("lib", 50),)
+        )
+        assert img.total_bytes() == 150
+
+    def test_nested_libraries(self):
+        inner = ExecutableImage("inner", 10)
+        mid = ExecutableImage("mid", 20, libraries=(inner,))
+        top = ExecutableImage("top", 30, libraries=(mid,))
+        assert top.total_bytes() == 60
+
+
+class TestLoadExecutable:
+    def test_staged_image_loads_from_ramfs(self):
+        platform = Platform(generic_cluster(nodes=1))
+        node = platform.node(0)
+        img = ExecutableImage("fast", 1 << 20)
+        node.stage(img)
+        t = run_gen(
+            platform.env, node.exec_process(img)
+        )
+        # RAM-FS load: time is dominated by fork_exec, not the read.
+        assert platform.env.now < node.process_costs.fork_exec * 2
+
+    def test_unstaged_image_reads_shared_fs(self):
+        platform = Platform(generic_cluster(nodes=1))
+        node = platform.node(0)
+        img = ExecutableImage("slow", 64 << 20)
+        run_gen(platform.env, node.exec_process(img))
+        assert platform.shared_fs.bytes_read == 64 << 20
+
+    def test_libraries_loaded_too(self):
+        platform = Platform(generic_cluster(nodes=1))
+        node = platform.node(0)
+        img = ExecutableImage(
+            "app", 1 << 20, libraries=(ExecutableImage("lib", 2 << 20),)
+        )
+        run_gen(platform.env, node.exec_process(img))
+        assert platform.shared_fs.bytes_read == 3 << 20
+
+    def test_staging_halves_subsequent_loads(self):
+        platform = Platform(generic_cluster(nodes=1))
+        node = platform.node(0)
+        img = ExecutableImage(
+            "app", 8 << 20, libraries=(ExecutableImage("lib", 8 << 20),)
+        )
+        node.stage(img)
+        run_gen(platform.env, node.exec_process(img))
+        assert platform.shared_fs.bytes_read == 0
+
+
+class TestZeptoConfig:
+    def test_cnk_has_no_sockets(self):
+        with pytest.raises(NodeCapabilityError):
+            CNK_DEFAULT.require_sockets()
+        with pytest.raises(NodeCapabilityError):
+            CNK_DEFAULT.require_ip()
+
+    def test_zepto_tuned_supports_ip(self):
+        ZEPTO_TUNED.require_sockets()
+        ZEPTO_TUNED.require_ip()
+
+    def test_linux_supports_ip(self):
+        LINUX.require_ip()
+
+    def test_surveyor_uses_zepto(self):
+        spec = surveyor(4)
+        assert spec.os_config.posix_sockets
+        assert spec.os_config.ramfs
+        assert spec.os_config.boot_overhead > 0
+
+
+class TestProcessCostSpec:
+    def test_fork_jitter_deterministic_per_seed(self):
+        def run_once(seed):
+            platform = Platform(generic_cluster(nodes=1), seed=seed)
+            node = platform.node(0)
+            img = ExecutableImage("x", 1024)
+            node.stage(img)
+            run_gen(platform.env, node.exec_process(img))
+            return platform.env.now
+
+        assert run_once(1) == run_once(1)
+        assert run_once(1) != run_once(2)
+
+    def test_zero_jitter_exact_cost(self):
+        spec = generic_cluster(nodes=1)
+        from dataclasses import replace
+
+        spec = replace(
+            spec, process_costs=ProcessCostSpec(fork_exec=0.01, fork_jitter=0.0)
+        )
+        platform = Platform(spec)
+        node = platform.node(0)
+        img = ExecutableImage("x", 0)
+        node.stage(img)
+        run_gen(platform.env, node.exec_process(img))
+        assert platform.env.now == pytest.approx(0.01, abs=1e-4)

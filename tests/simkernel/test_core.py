@@ -1,0 +1,385 @@
+"""Tests for the DES kernel: events, processes, conditions, interrupts."""
+
+import pytest
+
+from repro.simkernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestEvent:
+    def test_succeed_carries_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failed_event_raises_in_process(self, env):
+        ev = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(exc)
+
+        env.process(proc())
+        ev.fail(ValueError("boom"))
+        env.run()
+        assert len(caught) == 1
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        def proc():
+            yield env.timeout(3.5)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 3.5
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_value_passthrough(self, env):
+        def proc():
+            v = yield env.timeout(1, value="hello")
+            return v
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "hello"
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+
+        def waiter(d, tag):
+            yield env.timeout(d)
+            order.append(tag)
+
+        env.process(waiter(3, "c"))
+        env.process(waiter(1, "a"))
+        env.process(waiter(2, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo_by_creation(self, env):
+        order = []
+
+        def waiter(tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(waiter(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "done"
+
+    def test_process_is_waitable_event(self, env):
+        def inner():
+            yield env.timeout(2)
+            return 10
+
+        def outer():
+            v = yield env.process(inner())
+            return v + 1
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 11
+
+    def test_yield_from_composition(self, env):
+        def inner():
+            yield env.timeout(1)
+            return 5
+
+        def outer():
+            v = yield from inner()
+            yield env.timeout(1)
+            return v * 2
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 10
+        assert env.now == 2
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_raises_in_process(self, env):
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_propagates_to_run(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("kaboom")
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="kaboom"):
+            env.run()
+
+    def test_exception_caught_by_waiter_is_defused(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("inner")
+
+        def waiter():
+            try:
+                yield env.process(bad())
+            except RuntimeError:
+                return "handled"
+
+        p = env.process(waiter())
+        env.run()
+        assert p.value == "handled"
+
+    def test_is_alive(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed(7)
+
+        def proc():
+            yield env.timeout(1)
+            v = yield ev  # already processed by now
+            return v
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 7
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                causes.append(i.cause)
+                return "interrupted"
+
+        def killer(p):
+            yield env.timeout(1)
+            p.interrupt("die")
+
+        p = env.process(victim())
+        env.process(killer(p))
+        result = env.run(p)
+        assert result == "interrupted"
+        assert causes == ["die"]
+        assert env.now == 1  # the stale timeout has not fired yet
+
+    def test_interrupt_terminated_raises(self, env):
+        def victim():
+            yield env.timeout(1)
+
+        p = env.process(victim())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def victim():
+            yield env.timeout(0)
+            me = env.active_process
+            me.interrupt()
+
+        env.process(victim())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_stale_target_after_interrupt_ignored(self, env):
+        """The original wait target firing later must not resume the process."""
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(50)
+            log.append(("done", env.now))
+
+        def killer(p):
+            yield env.timeout(2)
+            p.interrupt()
+
+        p = env.process(victim())
+        env.process(killer(p))
+        env.run()
+        assert log == [("interrupted", 2), ("done", 52)]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        def proc():
+            e1, e2 = env.timeout(1), env.timeout(3)
+            yield env.all_of([e1, e2])
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 3
+
+    def test_any_of_fires_on_first(self, env):
+        def proc():
+            e1, e2 = env.timeout(5), env.timeout(2)
+            result = yield env.any_of([e1, e2])
+            return env.now, e2 in result
+
+        p = env.process(proc())
+        env.run(10)
+        assert p.value == (2, True)
+
+    def test_all_of_empty_fires_immediately(self, env):
+        def proc():
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 0
+
+    def test_all_of_fails_on_member_failure(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("member")
+
+        def proc():
+            try:
+                yield env.all_of([env.process(bad()), env.timeout(10)])
+            except ValueError:
+                return "failed"
+
+        p = env.process(proc())
+        env.run(20)
+        assert p.value == "failed"
+
+    def test_condition_value_maps_events(self, env):
+        def proc():
+            e1 = env.timeout(1, value="a")
+            e2 = env.timeout(2, value="b")
+            result = yield env.all_of([e1, e2])
+            return sorted(result.values())
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == ["a", "b"]
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        def proc():
+            while True:
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run(until=5.5)
+        assert env.now == 5.5
+
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(2)
+            return "finished"
+
+        p = env.process(proc())
+        assert env.run(p) == "finished"
+
+    def test_run_until_past_rejected(self, env):
+        env.process(iter_timeout(env))
+        env.run(5)
+        with pytest.raises(ValueError):
+            env.run(1)
+
+    def test_run_exhausts_events(self, env):
+        def proc():
+            yield env.timeout(7)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 7
+        assert env.peek() == float("inf")
+
+    def test_run_until_unreachable_event_raises(self, env):
+        ev = env.event()  # never triggered
+
+        def proc():
+            yield env.timeout(1)
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(ev)
+
+    def test_determinism(self):
+        """Identical setups produce identical completion traces."""
+
+        def build():
+            e = Environment()
+            log = []
+
+            def worker(tag, d):
+                yield e.timeout(d)
+                log.append((tag, e.now))
+
+            for i in range(20):
+                e.process(worker(i, (i * 7) % 5 + 0.5))
+            e.run()
+            return log
+
+        assert build() == build()
+
+
+def iter_timeout(env):
+    yield env.timeout(10)

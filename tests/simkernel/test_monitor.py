@@ -1,0 +1,113 @@
+"""Tests for Trace, Counter, Gauge, IntervalLog instrumentation."""
+
+import pytest
+
+from repro.simkernel import Counter, Gauge, IntervalLog, Trace
+
+
+class TestTrace:
+    def test_log_records_time_and_category(self, env):
+        trace = Trace(env)
+
+        def proc():
+            trace.log("a", 1)
+            yield env.timeout(2)
+            trace.log("b", {"x": 2})
+
+        env.process(proc())
+        env.run()
+        assert len(trace) == 2
+        assert trace.select("a")[0].time == 0
+        assert trace.select("b")[0].data == {"x": 2}
+        assert trace.times("b") == [2]
+
+    def test_select_filters(self, env):
+        trace = Trace(env)
+        trace.log("x")
+        trace.log("y")
+        trace.log("x")
+        assert len(trace.select("x")) == 2
+        assert trace.select("z") == []
+
+
+class TestCounter:
+    def test_incr(self):
+        c = Counter("n")
+        assert c.incr() == 1
+        assert c.incr(4) == 5
+        assert c.value == 5
+
+
+class TestGauge:
+    def test_step_integral(self, env):
+        g = Gauge(env, 0)
+
+        def proc():
+            yield env.timeout(2)
+            g.set(10)
+            yield env.timeout(3)
+            g.set(0)
+            yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert g.integral() == pytest.approx(30.0)
+        assert g.mean() == pytest.approx(5.0)
+        assert g.max() == 10
+
+    def test_add(self, env):
+        g = Gauge(env, 1)
+        g.add(2)
+        g.add(-1)
+        assert g.value == 2
+
+    def test_partial_window_integral(self, env):
+        g = Gauge(env, 4)
+
+        def proc():
+            yield env.timeout(10)
+            g.set(0)
+            yield env.timeout(10)
+
+        env.process(proc())
+        env.run()
+        assert g.integral(5, 15) == pytest.approx(4 * 5)
+        assert g.mean(5, 15) == pytest.approx(2.0)
+
+    def test_empty_window(self, env):
+        g = Gauge(env, 1)
+        assert g.integral(5, 5) == 0.0
+        assert g.mean(3, 3) == 0.0
+
+
+class TestIntervalLog:
+    def test_busy_time(self):
+        log = IntervalLog()
+        log.add(0, 5)
+        log.add(3, 7)
+        assert log.busy_time() == pytest.approx(9.0)
+
+    def test_invalid_interval(self):
+        log = IntervalLog()
+        with pytest.raises(ValueError):
+            log.add(5, 3)
+
+    def test_concurrency_series(self):
+        log = IntervalLog()
+        log.add(0, 4)
+        log.add(2, 6)
+        series = dict(log.concurrency_series())
+        assert series[0] == 1
+        assert series[2] == 2
+        assert series[4] == 1
+        assert series[6] == 0
+
+    def test_span_and_durations(self):
+        log = IntervalLog()
+        log.add(1, 3, "a")
+        log.add(2, 10, "b")
+        assert log.span() == (1, 10)
+        assert sorted(log.durations()) == [2, 8]
+
+    def test_empty_span(self):
+        assert IntervalLog().span() == (0.0, 0.0)

@@ -1,0 +1,124 @@
+"""Tests for the CoasterService, providers, and spectrum allocation."""
+
+import pytest
+
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.tasklist import JobSpec
+from repro.swift.coasters import CoastersConfig, CoasterService, spectrum_blocks
+from repro.swift.provider import BatchProvider, LoginProvider
+
+
+class TestSpectrumBlocks:
+    def test_blocks_sum_to_total(self):
+        for total in (1, 5, 17, 64, 100):
+            assert sum(spectrum_blocks(total)) == total
+
+    def test_geometric_shape(self):
+        assert spectrum_blocks(64)[:3] == [32, 16, 8]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            spectrum_blocks(0)
+
+
+class TestCoasterService:
+    def test_provisions_workers_and_runs_job(self):
+        platform = Platform(generic_cluster(nodes=4))
+        batch = BatchScheduler(platform, boot_delay=1.0)
+        svc = CoasterService(platform, batch, CoastersConfig(workers=3))
+        svc.start()
+        platform.env.run(svc.ready)
+        assert len(svc.workers) == 3
+        done = svc.submit(
+            JobSpec(program=BarrierSleepBarrier(0.3), nodes=2, mpi=True)
+        )
+        completed = platform.env.run(done)
+        assert completed.ok
+
+    def test_spectrum_uses_multiple_blocks(self):
+        platform = Platform(generic_cluster(nodes=8))
+        batch = BatchScheduler(platform, boot_delay=0.5)
+        svc = CoasterService(
+            platform, batch, CoastersConfig(workers=7, spectrum=True)
+        )
+        svc.start()
+        platform.env.run(svc.ready)
+        assert len(svc.allocations) >= 3
+        assert sum(a.size for a in svc.allocations) == 7
+
+    def test_shutdown_releases_blocks(self):
+        platform = Platform(generic_cluster(nodes=4))
+        batch = BatchScheduler(platform, boot_delay=0)
+        svc = CoasterService(platform, batch, CoastersConfig(workers=4))
+        svc.start()
+        platform.env.run(svc.ready)
+
+        def closer():
+            yield from svc.shutdown()
+
+        p = platform.env.process(closer())
+        platform.env.run(p)
+        assert batch.free_nodes == 4
+
+    def test_double_start_rejected(self):
+        platform = Platform(generic_cluster(nodes=2))
+        batch = BatchScheduler(platform)
+        svc = CoasterService(platform, batch, CoastersConfig(workers=2))
+        svc.start()
+        with pytest.raises(RuntimeError):
+            svc.start()
+
+
+class TestLoginProvider:
+    def test_runs_serial_task_on_login_host(self):
+        platform = Platform(generic_cluster(nodes=2))
+        provider = LoginProvider(platform, cores=2)
+        done = provider.submit(
+            JobSpec(program=SleepProgram(1.0), nodes=1, mpi=False)
+        )
+        completed = platform.env.run(done)
+        assert completed.ok
+        assert completed.result.rank0_value == 0
+        assert platform.env.now >= 1.0
+
+    def test_rejects_mpi(self):
+        platform = Platform(generic_cluster(nodes=2))
+        provider = LoginProvider(platform)
+        with pytest.raises(ValueError):
+            provider.submit(
+                JobSpec(program=SleepProgram(1), nodes=2, ppn=1, mpi=True)
+            )
+
+    def test_limited_cores_serialize(self):
+        platform = Platform(generic_cluster(nodes=2))
+        provider = LoginProvider(platform, cores=1)
+        e1 = provider.submit(JobSpec(program=SleepProgram(1), nodes=1, mpi=False))
+        e2 = provider.submit(JobSpec(program=SleepProgram(1), nodes=1, mpi=False))
+        platform.env.run(platform.env.all_of([e1, e2]))
+        assert platform.env.now >= 2.0
+
+
+class TestBatchProvider:
+    def test_each_task_pays_allocation_boot(self):
+        platform = Platform(generic_cluster(nodes=4))
+        batch = BatchScheduler(platform, boot_delay=30.0)
+        provider = BatchProvider(platform, batch)
+        done = provider.submit(
+            JobSpec(program=BarrierSleepBarrier(1.0), nodes=2, mpi=True)
+        )
+        completed = platform.env.run(done)
+        assert completed.ok
+        assert platform.env.now > 30.0  # dominated by the boot
+
+    def test_nodes_released_after_task(self):
+        platform = Platform(generic_cluster(nodes=2))
+        batch = BatchScheduler(platform, boot_delay=0)
+        provider = BatchProvider(platform, batch)
+        done = provider.submit(
+            JobSpec(program=SleepProgram(0.5), nodes=2, ppn=1, mpi=True)
+        )
+        platform.env.run(done)
+        assert batch.free_nodes == 2

@@ -1,0 +1,172 @@
+"""Tests for the Swift dataflow engine (futures, calls, dependencies)."""
+
+import pytest
+
+from repro.apps.synthetic import SleepProgram
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.tasklist import JobSpec
+from repro.swift.coasters import CoastersConfig, CoasterService
+from repro.swift.dataflow import Future, SwiftEngine, WorkflowError
+from repro.swift.provider import CoastersProvider, LoginProvider
+
+
+@pytest.fixture
+def engine_stack():
+    platform = Platform(generic_cluster(nodes=4, cores_per_node=2))
+    batch = BatchScheduler(platform, boot_delay=0)
+    service = CoasterService(platform, batch, CoastersConfig(workers=4))
+    service.start()
+    engine = SwiftEngine(platform, CoastersProvider(service))
+    return platform, engine, service
+
+
+class TestFuture:
+    def test_single_assignment(self, small_platform):
+        engine = SwiftEngine(small_platform, provider=None)
+        f = engine.future("x")
+        assert not f.is_set
+        f.set(10)
+        assert f.is_set and f.value == 10
+        with pytest.raises(WorkflowError):
+            f.set(11)
+
+    def test_read_before_assignment_raises(self, small_platform):
+        engine = SwiftEngine(small_platform, provider=None)
+        f = engine.future()
+        with pytest.raises(WorkflowError):
+            _ = f.value
+
+    def test_wait_blocks_until_set(self, small_platform):
+        engine = SwiftEngine(small_platform, provider=None)
+        env = small_platform.env
+        f = engine.future()
+        times = {}
+
+        def reader():
+            v = yield f.wait()
+            times["read"] = (env.now, v)
+
+        def writer():
+            yield env.timeout(5)
+            f.set("ready")
+
+        env.process(reader())
+        env.process(writer())
+        env.run()
+        assert times["read"] == (5, "ready")
+
+    def test_futures_helper_names(self, small_platform):
+        engine = SwiftEngine(small_platform, provider=None)
+        fs = engine.futures(3, prefix="o")
+        assert [f.name for f in fs] == ["o0", "o1", "o2"]
+
+
+class TestCall:
+    def test_call_waits_for_inputs(self, engine_stack):
+        platform, engine, _svc = engine_stack
+        env = platform.env
+        a = engine.future("a")
+        out = engine.future("out")
+
+        def make_job(values):
+            assert values == ["input-value"]
+            return JobSpec(program=SleepProgram(0.5), nodes=1, mpi=False)
+
+        engine.call(make_job, inputs=[a], outputs=[out])
+
+        def setter():
+            yield env.timeout(3)
+            a.set("input-value")
+
+        env.process(setter())
+        env.run(engine.drained())
+        assert out.is_set
+        assert env.now > 3
+
+    def test_chain_of_dependencies_executes_in_order(self, engine_stack):
+        platform, engine, _svc = engine_stack
+        order = []
+
+        def make_stage(tag):
+            def make_job(_values):
+                order.append(tag)
+                return JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+
+            return make_job
+
+        f0 = engine.future()
+        f0.set(None)
+        prev = f0
+        for tag in ("a", "b", "c"):
+            nxt = engine.future()
+            engine.call(make_stage(tag), inputs=[prev], outputs=[nxt])
+            prev = nxt
+        platform.env.run(engine.drained())
+        assert order == ["a", "b", "c"]
+
+    def test_independent_calls_run_concurrently(self, engine_stack):
+        platform, engine, _svc = engine_stack
+
+        def make_job(_values):
+            return JobSpec(program=SleepProgram(1.0), nodes=1, mpi=False)
+
+        for _ in range(4):
+            engine.call(make_job)
+        platform.env.run(engine.drained())
+        # 4×1 s tasks over 4 workers: wall clock ~1 s, not ~4 s.
+        assert platform.env.now < 3.0
+
+    def test_failure_recorded_and_outputs_drained(self, engine_stack):
+        platform, engine, _svc = engine_stack
+        out = engine.future("out")
+
+        def make_job(_values):
+            # Oversized: the dispatcher fails it immediately.
+            return JobSpec(program=SleepProgram(1), nodes=99, mpi=True)
+
+        engine.call(make_job, outputs=[out], name="doomed")
+        platform.env.run(engine.drained())
+        assert engine.failures
+        assert out.is_set  # set to None so downstream can drain
+
+    def test_mpi_job_through_engine(self, engine_stack):
+        platform, engine, svc = engine_stack
+        from repro.apps.synthetic import BarrierSleepBarrier
+
+        def make_job(_values):
+            return JobSpec(
+                program=BarrierSleepBarrier(0.5), nodes=2, ppn=2, mpi=True
+            )
+
+        engine.call(make_job)
+        platform.env.run(engine.drained())
+        done = [c for c in svc.dispatcher.completed if c.ok]
+        assert len(done) == 1
+        assert done[0].result.world_size == 4
+
+    def test_drained_reusable(self, engine_stack):
+        platform, engine, _svc = engine_stack
+
+        def make_job(_values):
+            return JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)
+
+        engine.call(make_job)
+        platform.env.run(engine.drained())
+        t1 = platform.env.now
+        engine.call(make_job)
+        platform.env.run(engine.drained())
+        assert platform.env.now > t1
+
+    def test_run_function_tracked(self, engine_stack):
+        platform, engine, _svc = engine_stack
+        log = []
+
+        def logic():
+            yield platform.env.timeout(2)
+            log.append(platform.env.now)
+
+        engine.run_function(logic)
+        platform.env.run(engine.drained())
+        assert log == [2]

@@ -1,0 +1,155 @@
+"""Tests for the Swift-script surface syntax (@app, foreach, FileArray)."""
+
+import pytest
+
+from repro.apps.synthetic import SleepProgram, SwiftSyntheticTask
+from repro.cluster.batch import BatchScheduler
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.tasklist import JobSpec
+from repro.swift.coasters import CoastersConfig, CoasterService
+from repro.swift.dataflow import SwiftEngine, WorkflowError
+from repro.swift.language import FileArray, SwiftScript
+from repro.swift.provider import CoastersProvider
+
+
+@pytest.fixture
+def script_stack():
+    platform = Platform(generic_cluster(nodes=4, cores_per_node=2))
+    batch = BatchScheduler(platform, boot_delay=0)
+    service = CoasterService(platform, batch, CoastersConfig(workers=4))
+    service.start()
+    engine = SwiftEngine(platform, CoastersProvider(service))
+    return platform, engine, SwiftScript(engine)
+
+
+class TestApp:
+    def test_app_call_returns_future(self, script_stack):
+        platform, engine, lang = script_stack
+
+        @lang.app
+        def task(i):
+            return JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+
+        out = task(3)
+        assert not out.is_set
+        platform.env.run(engine.drained())
+        assert out.is_set
+
+    def test_future_arguments_create_dependencies(self, script_stack):
+        platform, engine, lang = script_stack
+        order = []
+
+        @lang.app
+        def stage(tag, upstream=None):
+            order.append(tag)
+            return JobSpec(program=SleepProgram(0.3), nodes=1, mpi=False)
+
+        first = stage("a")
+        stage("b", upstream=first)
+        platform.env.run(engine.drained())
+        assert order == ["a", "b"]
+
+    def test_positional_future_resolved_to_value(self, script_stack):
+        platform, engine, lang = script_stack
+        seen = {}
+
+        @lang.app
+        def consumer(value):
+            seen["value"] = value
+            return JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)
+
+        producer_out = engine.future("p")
+        consumer(producer_out)
+
+        def setter():
+            yield platform.env.timeout(1)
+            producer_out.set("payload")
+
+        platform.env.process(setter())
+        platform.env.run(engine.drained())
+        assert seen["value"] == "payload"
+
+    def test_non_jobspec_return_recorded_as_failure(self, script_stack):
+        platform, engine, lang = script_stack
+
+        @lang.app
+        def broken():
+            return "not a job"
+
+        out = broken()
+        platform.env.run(engine.drained())
+        assert engine.failures and "broken" in engine.failures[0]
+        assert out.is_set and out.value is None  # downstream can drain
+
+
+class TestForeach:
+    def test_fig14_style_loop(self, script_stack):
+        """The paper's Fig. 14 synthetic-workload script shape."""
+        platform, engine, lang = script_stack
+
+        @lang.app
+        def synthetic(i, duration=0.5, nodes=2, ppn=1):
+            return JobSpec(
+                program=SwiftSyntheticTask(duration), nodes=nodes, ppn=ppn,
+                mpi=True,
+            )
+
+        outs = lang.foreach(range(6), synthetic)
+        platform.env.run(engine.drained())
+        assert len(outs) == 6
+        assert all(o.is_set for o in outs)
+
+    def test_iterations_run_concurrently(self, script_stack):
+        platform, engine, lang = script_stack
+
+        @lang.app
+        def sleepy(i):
+            return JobSpec(program=SleepProgram(1.0), nodes=1, mpi=False)
+
+        lang.foreach(range(8), sleepy)
+        platform.env.run(engine.drained())
+        # 8 × 1-s tasks on 8 slots: far less than serial time.
+        assert platform.env.now < 4.0
+
+
+class TestFileArray:
+    def test_lazy_creation_and_assignment(self, script_stack):
+        _platform, engine, lang = script_stack
+        arr = lang.array("c")
+        fut = arr[1, 2]  # referenced before assignment
+        assert not fut.is_set
+        arr[1, 2] = "value"
+        assert arr[1, 2].value == "value"
+        assert (1, 2) in arr
+        assert len(arr) == 1
+
+    def test_double_assignment_rejected(self, script_stack):
+        _platform, engine, lang = script_stack
+        arr = lang.array()
+        arr[0] = 1
+        with pytest.raises(WorkflowError):
+            arr[0] = 2
+
+    def test_assigned_snapshot(self, script_stack):
+        _platform, engine, lang = script_stack
+        arr = lang.array()
+        arr[0] = "x"
+        _ = arr[1]  # created but unset
+        assert arr.assigned() == {0: "x"}
+
+    def test_array_wires_dataflow(self, script_stack):
+        platform, engine, lang = script_stack
+        arr = lang.array("o")
+
+        @lang.app
+        def stage(i, prev=None):
+            return JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+
+        # Chain through the array: stage i consumes o[i-1], produces o[i].
+        prev = None
+        for i in range(3):
+            out = stage(i, prev=prev, outputs=[arr[i]])
+            prev = arr[i]
+        platform.env.run(engine.drained())
+        assert len(arr.assigned()) == 3

@@ -1,0 +1,36 @@
+"""The shipped examples must keep running (they are living documentation)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "fault_tolerance",
+        "compare_launchers",
+        "swift_script",
+        "rem_workflow",
+        "parameter_sweep",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main() if hasattr(module, "main") else None
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something

@@ -1,0 +1,136 @@
+"""System-level property-based tests.
+
+These drive the whole stack (dispatcher + workers + Hydra + apps) with
+randomized workloads and check conservation laws the paper's design
+implies: no job is lost or duplicated, no node is double-booked, reports
+are internally consistent, and runs are deterministic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.machine import generic_cluster
+from repro.core.jets import JetsConfig, Simulation
+from repro.core.tasklist import JobSpec, TaskList
+
+
+job_strategy = st.tuples(
+    st.booleans(),                      # mpi?
+    st.integers(min_value=1, max_value=4),   # nodes
+    st.floats(min_value=0.0, max_value=2.0), # duration
+)
+
+
+@st.composite
+def workloads(draw):
+    specs = draw(st.lists(job_strategy, min_size=1, max_size=12))
+    jobs = []
+    for mpi, nodes, duration in specs:
+        if mpi:
+            jobs.append(
+                JobSpec(
+                    program=BarrierSleepBarrier(duration),
+                    nodes=nodes,
+                    ppn=1,
+                    mpi=True,
+                )
+            )
+        else:
+            jobs.append(
+                JobSpec(program=SleepProgram(duration), nodes=1, mpi=False)
+            )
+    return jobs
+
+
+@given(jobs=workloads())
+@settings(max_examples=25, deadline=None)
+def test_every_job_finishes_exactly_once(jobs):
+    """Conservation: submitted = completed + failed, each job once."""
+    sim = Simulation(generic_cluster(nodes=4, cores_per_node=2))
+    report = sim.run_standalone(TaskList(jobs))
+    assert report.jobs_completed + report.jobs_failed == len(jobs)
+    seen = [c.job.job_id for c in report.completed]
+    assert len(seen) == len(set(seen))
+    assert set(seen) == {j.job_id for j in jobs}
+
+
+@given(jobs=workloads())
+@settings(max_examples=15, deadline=None)
+def test_no_core_leaks(jobs):
+    """After a drained run, every node has all cores free."""
+    sim = Simulation(generic_cluster(nodes=4, cores_per_node=2))
+    report = sim.run_standalone(TaskList(jobs))
+    for node in report.platform.nodes:
+        assert node.busy_cores == 0
+    assert report.platform.busy_cores.value == 0
+
+
+@given(jobs=workloads())
+@settings(max_examples=10, deadline=None)
+def test_utilization_bounded(jobs):
+    """Eq. (1) utilization never exceeds 1 for fixed-duration programs."""
+    sim = Simulation(generic_cluster(nodes=4, cores_per_node=2))
+    report = sim.run_standalone(TaskList(jobs))
+    assert 0.0 <= report.utilization <= 1.0 + 1e-9
+
+
+@given(
+    jobs=workloads(),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_determinism_across_runs(jobs, seed):
+    """Same workload + seed → identical span and completion counts."""
+
+    def clone(job):
+        return JobSpec(
+            program=job.program,
+            nodes=job.nodes,
+            ppn=job.ppn,
+            mpi=job.mpi,
+            duration_hint=job.duration_hint,
+        )
+
+    def once(js):
+        sim = Simulation(generic_cluster(nodes=4, cores_per_node=2), seed=seed)
+        report = sim.run_standalone(TaskList(js))
+        return (report.jobs_completed, round(report.span, 9))
+
+    assert once([clone(j) for j in jobs]) == once([clone(j) for j in jobs])
+
+
+@given(
+    policy=st.sampled_from(["fifo", "priority", "backfill"]),
+    jobs=workloads(),
+)
+@settings(max_examples=15, deadline=None)
+def test_all_policies_drain_all_workloads(policy, jobs):
+    """No policy loses or deadlocks a placeable workload."""
+    from repro.core.jets import service_config_for
+
+    machine = generic_cluster(nodes=4, cores_per_node=2)
+    svc = service_config_for(machine, policy=policy)
+    sim = Simulation(machine, JetsConfig(service=svc))
+    report = sim.run_standalone(TaskList(jobs))
+    assert report.jobs_completed + report.jobs_failed == len(jobs)
+
+
+@given(
+    nodes=st.integers(min_value=2, max_value=6),
+    n_jobs=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_oversized_jobs_fail_cleanly(nodes, n_jobs):
+    """Jobs larger than the allocation fail fast without wedging others."""
+    jobs = [
+        JobSpec(
+            program=BarrierSleepBarrier(0.5), nodes=nodes + 2, ppn=1, mpi=True
+        )
+        for _ in range(n_jobs)
+    ] + [JobSpec(program=SleepProgram(0.1), nodes=1, mpi=False)]
+    sim = Simulation(generic_cluster(nodes=nodes, cores_per_node=2))
+    report = sim.run_standalone(TaskList(jobs), allocation_nodes=nodes)
+    assert report.jobs_failed == n_jobs
+    assert report.jobs_completed == 1
