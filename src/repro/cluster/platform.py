@@ -14,6 +14,8 @@ from typing import Optional
 from ..netsim.fabric import Fabric
 from ..netsim.sockets import Network
 from ..netsim.topology import SwitchedFlat, Topology, Torus3D, torus_dims_for
+from ..obs.metrics import Registry
+from ..obs.session import active as _active_obs_session
 from ..oslayer.filesystem import SharedFilesystem
 from ..simkernel import Environment, Gauge, RngRegistry, Trace
 from .machine import MachineSpec
@@ -42,6 +44,10 @@ class Platform:
         self.rng = RngRegistry(seed)
         self.trace = Trace(self.env)
         self.busy_cores = Gauge(self.env, 0)
+        self.metrics = Registry(self.env, self.trace)
+        obs = _active_obs_session()
+        if obs is not None:
+            obs.attach(self.trace, label=spec.name, registry=self.metrics)
 
         if spec.topology == "torus":
             self.topology: Topology = Torus3D(torus_dims_for(spec.nodes))

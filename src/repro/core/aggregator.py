@@ -39,6 +39,8 @@ class WorkerView:
     last_seen: float = 0.0
     ready_since: float = 0.0
     running_jobs: set[str] = field(default_factory=set)
+    #: Last idle/busy state logged to the trace (dedups transitions).
+    obs_state: Optional[str] = None
 
     @property
     def fully_free(self) -> bool:
@@ -54,16 +56,33 @@ class Aggregator:
     FIFO and O(ready · group) for topology grouping.
     """
 
-    def __init__(self, grouping: str = "fifo", topology: Optional[Topology] = None):
+    def __init__(
+        self,
+        grouping: str = "fifo",
+        topology: Optional[Topology] = None,
+        trace: Any = None,
+    ):
         if grouping not in ("fifo", "topology"):
             raise ValueError(f"unknown grouping {grouping!r}")
         if grouping == "topology" and topology is None:
             raise ValueError("topology grouping requires a topology")
         self.grouping = grouping
         self.topology = topology
+        #: Optional Trace for worker idle/busy lifecycle transitions.
+        self.trace = trace
         self._workers: dict[int, WorkerView] = {}
         #: FIFO order of workers that became fully free (ids; lazily pruned).
         self._free_order: list[int] = []
+
+    def _transition(self, state: str, view: WorkerView) -> None:
+        """Log a worker idle/busy transition; repeats are collapsed.
+
+        A worker is *busy* while it has any running job (one serial slot
+        claimed counts) and *idle* when it is alive with none.
+        """
+        if self.trace is not None and state != view.obs_state:
+            view.obs_state = state
+            self.trace.log(f"worker.{state}", {"worker": view.worker_id})
 
     # -- membership -----------------------------------------------------------
 
@@ -96,14 +115,18 @@ class Aggregator:
         view = self._workers.get(worker_id)
         if view is None or not view.alive:
             return
+        was_free = view.fully_free
         if all_slots:
             view.free_slots = view.slots
         else:
             view.free_slots = min(view.slots, view.free_slots + 1)
         view.last_seen = now
+        if not view.running_jobs:
+            self._transition("idle", view)
         if view.fully_free:
             view.ready_since = now
-            self._free_order.append(worker_id)
+            if not was_free:
+                self._free_order.append(worker_id)
 
     @property
     def ready_workers(self) -> int:
@@ -131,6 +154,7 @@ class Aggregator:
             view = self._first_with_slot()
             view.free_slots -= 1
             view.running_jobs.add(job.job_id)
+            self._transition("busy", view)
             return [view]
         chosen = (
             self._pick_fifo(job.nodes)
@@ -140,6 +164,7 @@ class Aggregator:
         for view in chosen:
             view.free_slots = 0
             view.running_jobs.add(job.job_id)
+            self._transition("busy", view)
         return chosen
 
     def release(self, job: JobSpec, worker_id: int) -> None:
@@ -148,6 +173,8 @@ class Aggregator:
         view = self._workers.get(worker_id)
         if view is not None:
             view.running_jobs.discard(job.job_id)
+            if view.alive and not view.running_jobs:
+                self._transition("idle", view)
 
     # -- selection internals -------------------------------------------------------
 

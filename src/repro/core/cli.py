@@ -5,7 +5,10 @@ Usage::
     jets [--machine surveyor|breadboard|eureka|generic] [--nodes N]
          [--slots S] [--policy fifo|priority|backfill]
          [--grouping fifo|topology] [--no-staging]
-         [--faults INTERVAL] [--seed SEED] TASKFILE
+         [--faults INTERVAL] [--seed SEED]
+         [--trace-out RUN.jsonl] [--chrome-trace RUN.trace.json]
+         [--report] TASKFILE
+    jets report RUN.jsonl
 
 ``TASKFILE`` uses the paper's input format, e.g.::
 
@@ -15,6 +18,10 @@ Usage::
 
 The run executes on the selected *simulated* machine and prints the batch
 report (completion counts, Eq. 1 utilization, task rate, wire-up times).
+``--trace-out`` dumps the lifecycle trace as JSONL (and a Chrome
+``trace_event`` file alongside, openable in Perfetto); ``--report``
+prints the observability run summary; ``jets report`` re-renders that
+summary from a saved JSONL dump.
 """
 
 from __future__ import annotations
@@ -24,10 +31,13 @@ import sys
 from typing import Optional, Sequence
 
 from ..cluster.machine import breadboard, eureka, generic_cluster, surveyor
+from ..obs.export import jsonl_runs
+from ..obs.report import render_report
+from ..obs.session import session as obs_scope, unwritable_reason
 from .jets import FaultSpec, JetsConfig, Simulation, service_config_for
 from .tasklist import TaskList, TaskListError
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_report_parser", "report_main"]
 
 _MACHINES = {
     "surveyor": surveyor,
@@ -79,12 +89,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--until", type=float, default=None,
         help="cap simulated time (seconds after allocation start)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="RUN.jsonl",
+        help="dump the lifecycle trace as JSONL (a Chrome trace_event "
+             "file is written alongside unless --chrome-trace is given)",
+    )
+    parser.add_argument(
+        "--chrome-trace", default=None, metavar="RUN.trace.json",
+        help="write a Chrome trace_event file (Perfetto/chrome://tracing)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the observability run summary (spans + metrics)",
+    )
     return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser for the ``jets report`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="jets report",
+        description="Render a run summary from a saved JSONL trace.",
+    )
+    parser.add_argument("tracefile", help="JSONL trace from --trace-out")
+    return parser
+
+
+def report_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets report RUN.jsonl`` — summarize a saved trace."""
+    args = build_report_parser().parse_args(argv)
+    try:
+        runs = jsonl_runs(args.tracefile)
+    except OSError as exc:
+        print(f"jets: cannot read {args.tracefile}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"jets: bad trace file: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"jets: {args.tracefile} holds no trace records", file=sys.stderr)
+        return 1
+    for run_id in sorted(runs):
+        print(render_report(runs[run_id], title=f"run {run_id}"))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
+    for path in (args.trace_out, args.chrome_trace):
+        reason = unwritable_reason(path)
+        if reason is not None:
+            print(f"jets: cannot write {path}: {reason}", file=sys.stderr)
+            return 2
     try:
         with open(args.taskfile) as fh:
             tasks = TaskList.from_text(fh.read(), ppn=args.ppn)
@@ -108,7 +169,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     sim = Simulation(machine, config, seed=args.seed)
     faults = FaultSpec(interval=args.faults) if args.faults else None
-    report = sim.run_standalone(tasks, faults=faults, until=args.until)
+    with obs_scope(
+        trace_out=args.trace_out,
+        chrome_out=args.chrome_trace,
+        report=args.report,
+    ):
+        report = sim.run_standalone(tasks, faults=faults, until=args.until)
 
     print(report.summary())
     if report.jobs_failed:

@@ -100,7 +100,9 @@ class JetsDispatcher:
 
         self.policy = make_policy(self.config.policy)
         topo = platform.topology if self.config.grouping == "topology" else None
-        self.aggregator = Aggregator(self.config.grouping, topo)
+        self.aggregator = Aggregator(
+            self.config.grouping, topo, trace=platform.trace
+        )
 
         self._svc = Resource(self.env, 1)
         self._submit_cpu = Resource(self.env, self.config.submit_cpu_slots)
@@ -109,6 +111,14 @@ class JetsDispatcher:
         self._serial_running: dict[str, JobSpec] = {}
         self._submit_times: dict[str, float] = {}
         self._dispatch_times: dict[str, float] = {}
+        self._queued_times: dict[str, float] = {}
+
+        metrics = platform.metrics
+        self._ops = metrics.counter("dispatcher.ops")
+        self._occupancy = metrics.gauge("dispatcher.occupancy")
+        self._queue_wait = metrics.histogram("dispatcher.queue_wait")
+        self._wireup = metrics.histogram("job.wireup")
+        self._resubmits = metrics.counter("dispatcher.resubmits")
 
         self.completed: list[CompletedJob] = []
         self.jobs_submitted = 0
@@ -135,6 +145,15 @@ class JetsDispatcher:
         """Enqueue one job; returns an event firing with its CompletedJob."""
         self.jobs_submitted += 1
         self._submit_times[job.job_id] = self.env.now
+        self.platform.trace.log(
+            "job.submitted",
+            {
+                "job": job.job_id,
+                "mpi": job.mpi,
+                "nodes": job.nodes,
+                "ppn": job.ppn,
+            },
+        )
         done = self._job_events.setdefault(job.job_id, self.env.event())
         if self.expected_workers is not None and job.mpi and (
             job.nodes > self.expected_workers
@@ -145,8 +164,7 @@ class JetsDispatcher:
                       f"{self.expected_workers}",
             )
             return done
-        self.policy.push(job)
-        self._wakeup()
+        self._enqueue(job)
         return done
 
     def submit_many(self, jobs) -> None:
@@ -172,15 +190,27 @@ class JetsDispatcher:
                 except ConnectionClosed:
                     pass
 
+    def _enqueue(self, job: JobSpec) -> None:
+        """Queue a job attempt (initial submission or resubmission)."""
+        self._queued_times[job.job_id] = self.env.now
+        self.platform.trace.log(
+            "job.queued", {"job": job.job_id, "attempt": job.attempts}
+        )
+        self.policy.push(job)
+        self._wakeup()
+
     # -- service-time accounting -------------------------------------------------
 
     def _service(self) -> Generator:
         """Charge one event-loop operation on the dispatcher thread."""
         req = self._svc.request()
         yield req
+        self._ops.incr()
+        self._occupancy.set(1)
         try:
             yield self.env.timeout(self.config.service_time)
         finally:
+            self._occupancy.set(0)
             self._svc.release(req)
 
     # -- socket handling -----------------------------------------------------------
@@ -210,6 +240,9 @@ class JetsDispatcher:
             self.aggregator.add_worker(view)
             self.platform.trace.log(
                 "dispatcher.register", {"worker": worker_id, "node": node_id}
+            )
+            self.platform.trace.log(
+                "worker.registered", {"worker": worker_id, "node": node_id}
             )
             while True:
                 msg = yield sock.recv()
@@ -246,6 +279,13 @@ class JetsDispatcher:
             now = self.env.now
             for view in self.aggregator.workers():
                 if view.alive and now - view.last_seen > deadline:
+                    self.platform.trace.log(
+                        "worker.heartbeat_missed",
+                        {
+                            "worker": view.worker_id,
+                            "last_seen": view.last_seen,
+                        },
+                    )
                     self._worker_lost(view, "heartbeat timeout")
                     if not view.socket.closed:
                         view.socket.close()
@@ -313,6 +353,17 @@ class JetsDispatcher:
                 yield from self._service()
                 views = self.aggregator.place(job)
                 self._dispatch_times.setdefault(job.job_id, self.env.now)
+                queued_at = self._queued_times.pop(job.job_id, None)
+                if queued_at is not None:
+                    self._queue_wait.observe(self.env.now - queued_at)
+                self.platform.trace.log(
+                    "job.grouped",
+                    {
+                        "job": job.job_id,
+                        "attempt": job.attempts,
+                        "workers": [v.worker_id for v in views],
+                    },
+                )
                 if job.mpi:
                     self.env.process(
                         self._run_mpi_job(job, views), name=f"jets-{job.job_id}"
@@ -372,6 +423,10 @@ class JetsDispatcher:
         )
         try:
             cmds = yield from controller.launch()
+            self.platform.trace.log(
+                "job.mpiexec_spawned",
+                {"job": job.job_id, "attempt": job.attempts},
+            )
             # Input staging is split across the group's task connections
             # (each worker receives its share of the job's input data).
             stage_share = job.stage_in_bytes // max(1, len(views))
@@ -383,6 +438,15 @@ class JetsDispatcher:
                         ("run_proxy", cmd, job.program),
                         cfg.ctrl_msg_bytes + stage_share,
                     )
+                    self.platform.trace.log(
+                        "proxy.launched",
+                        {
+                            "job": job.job_id,
+                            "proxy": cmd.proxy_id,
+                            "worker": view.worker_id,
+                            "node": view.node.node_id,
+                        },
+                    )
                 except ConnectionClosed:
                     controller.abort(
                         f"worker {view.worker_id} unreachable at dispatch"
@@ -393,6 +457,7 @@ class JetsDispatcher:
         for view in views:
             self.aggregator.release(job, view.worker_id)
         if result.ok:
+            self._wireup.observe(result.wireup_time)
             self._finish(job, ok=True, result=result)
         else:
             self._requeue(job, result.error, result)
@@ -405,11 +470,11 @@ class JetsDispatcher:
             "job.retry",
             {"job": job.job_id, "attempt": job.attempts, "error": error},
         )
+        self._resubmits.incr()
         if job.attempts >= job.max_attempts:
             self._finish(job, ok=False, result=result, error=error)
             return
-        self.policy.push(job)
-        self._wakeup()
+        self._enqueue(job)
 
     def _finish(
         self,
@@ -420,6 +485,7 @@ class JetsDispatcher:
     ) -> None:
         self.jobs_finished += 1
         now = self.env.now
+        self._queued_times.pop(job.job_id, None)
         self.completed.append(
             CompletedJob(
                 job=job,
@@ -431,13 +497,22 @@ class JetsDispatcher:
                 error=error,
             )
         )
+        # Nominal duration per Eq. (1): programs whose wall time depends
+        # on the process count (NAMD) expose wall_time(procs).
+        prog = job.program
+        if hasattr(prog, "wall_time"):
+            nominal = prog.wall_time(job.world_size)
+        else:
+            nominal = job.duration_hint
         self.platform.trace.log(
             "job.done" if ok else "job.failed",
             {
                 "job": job.job_id,
+                "attempt": job.attempts,
                 "nodes": job.nodes,
                 "ppn": job.ppn,
                 "duration_hint": job.duration_hint,
+                "nominal": nominal,
                 "error": error,
                 "app_start": result.t_app_start if result else None,
                 "app_end": result.t_app_end if result else None,

@@ -40,6 +40,7 @@ class FaultInjector:
         self.start_after = start_after
         self.rng = platform.rng.stream(rng_stream)
         self.kills: list[tuple[float, int]] = []
+        self._kill_counter = platform.metrics.counter("faults.injected")
         self._proc: Process | None = None
 
     def start(self) -> Process:
@@ -59,6 +60,7 @@ class FaultInjector:
             victim = living[int(self.rng.integers(len(living)))]
             victim.kill()
             self.kills.append((env.now, victim.worker_id))
+            self._kill_counter.incr()
             self.platform.trace.log(
                 "fault.kill", {"worker": victim.worker_id}
             )

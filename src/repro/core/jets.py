@@ -156,6 +156,15 @@ class Simulation:
 
         def main() -> Generator:
             alloc = yield from batch.submit(nodes, self.config.walltime)
+            platform.trace.log(
+                "run.allocation",
+                {
+                    "machine": self.machine.name,
+                    "nodes": nodes,
+                    "cores_per_node": self.machine.cores_per_node,
+                    "walltime": self.config.walltime,
+                },
+            )
             if until is not None:
                 deadline = platform.env.timeout(until)
                 deadline._add_callback(

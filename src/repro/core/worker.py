@@ -194,6 +194,14 @@ class WorkerAgent:
                 node=self.node,
                 job_id=job.job_id,
             )
+            self.platform.trace.log(
+                "job.app_running",
+                {
+                    "job": job.job_id,
+                    "worker": self.worker_id,
+                    "serial": True,
+                },
+            )
             value = yield from job.program.run(ctx)
             return value
 

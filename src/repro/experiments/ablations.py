@@ -302,4 +302,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from .common import obs_main
+
+    obs_main(main)

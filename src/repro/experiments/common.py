@@ -5,15 +5,30 @@ like the paper's figure) plus ``PAPER`` reference values and a
 ``describe()`` string.  Benchmarks call ``run`` at reduced scale; the
 ``main()`` entry points run the paper-scale configuration and print the
 table with paper-vs-measured columns.
+
+:func:`obs_main` is the shared ``__main__`` wrapper: it gives every
+experiment CLI the observability flags (``--trace-out``, ``--chrome-trace``,
+``--report``) by running the harness inside an ambient
+:mod:`repro.obs.session`, which captures each simulated platform the
+sweep constructs (one tagged run per trace).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import argparse
+import sys
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..metrics.stats import ascii_table
+from ..obs.session import session as obs_scope, unwritable_reason
 
-__all__ = ["print_rows", "rows_to_table", "check", "ShapeError"]
+__all__ = [
+    "print_rows",
+    "rows_to_table",
+    "check",
+    "obs_main",
+    "ShapeError",
+]
 
 
 class ShapeError(AssertionError):
@@ -35,3 +50,42 @@ def check(condition: bool, claim: str) -> None:
     """Assert a qualitative claim from the paper, with a readable message."""
     if not condition:
         raise ShapeError(f"paper claim violated: {claim}")
+
+
+def obs_main(
+    main_fn: Callable[[], object],
+    argv: Optional[Sequence[str]] = None,
+):
+    """Run an experiment ``main()`` with the observability CLI flags.
+
+    Every platform the harness constructs while running attaches its
+    trace to the session, so ``--trace-out`` captures the whole sweep
+    (one tagged run per simulated machine) and ``--report`` prints one
+    summary block per run.
+    """
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument(
+        "--trace-out", default=None, metavar="RUN.jsonl",
+        help="dump lifecycle traces as JSONL (Chrome trace alongside)",
+    )
+    parser.add_argument(
+        "--chrome-trace", default=None, metavar="RUN.trace.json",
+        help="write a Chrome trace_event file (Perfetto/chrome://tracing)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print an observability run summary per simulated run",
+    )
+    args = parser.parse_args(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
+    for path in (args.trace_out, args.chrome_trace):
+        reason = unwritable_reason(path)
+        if reason is not None:
+            parser.error(f"cannot write {path}: {reason}")
+    with obs_scope(
+        trace_out=args.trace_out,
+        chrome_out=args.chrome_trace,
+        report=args.report,
+    ):
+        return main_fn()

@@ -126,4 +126,6 @@ def main() -> list[dict]:
 
 
 if __name__ == "__main__":
-    main()
+    from .common import obs_main
+
+    obs_main(main)

@@ -150,4 +150,6 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    from .common import obs_main
+
+    obs_main(main)

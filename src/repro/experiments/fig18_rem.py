@@ -171,4 +171,6 @@ def main() -> tuple[list[dict], list[dict]]:
 
 
 if __name__ == "__main__":
-    main()
+    from .common import obs_main
+
+    obs_main(main)

@@ -1,17 +1,22 @@
-"""Timeline reconstruction from platform traces.
+"""Timeline reconstruction from lifecycle spans.
 
-Rebuilds the time-series plots of the paper's evaluation from trace
-records: running jobs and available nodes over time (Fig. 10), and busy
-cores over time — the "load level" of Fig. 13.
+Rebuilds the time-series plots of the paper's evaluation — running jobs
+and available nodes over time (Fig. 10), busy cores over time (the
+"load level" of Fig. 13) — from the observability span layer
+(:mod:`repro.obs.spans`) rather than by re-scanning raw trace
+categories.  The series are bit-identical to the pre-span
+implementation: spans carry the same ``job.done``/``worker.start``/
+``worker.stop`` stamps this module used to collect by hand.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
-from ..simkernel import Gauge, Trace
+from ..obs.spans import RunSpans, build_spans
+from ..simkernel import Gauge, Trace, TraceRecord
 
 __all__ = [
     "step_series",
@@ -39,43 +44,49 @@ def step_series(
     return series
 
 
-def running_jobs_series(trace: Trace) -> list[tuple[float, int]]:
-    """Jobs in their application phase over time, from job.done records.
+_SpanSource = Union[Trace, Iterable[TraceRecord], RunSpans]
 
-    Uses the app_start/app_end stamps carried by ``job.done`` (and
-    ``job.failed``) trace entries; serial jobs (no stamps) fall back to
-    dispatch→done spans.
+
+def _as_spans(source: _SpanSource) -> RunSpans:
+    return source if isinstance(source, RunSpans) else build_spans(source)
+
+
+def running_jobs_series(source: _SpanSource) -> list[tuple[float, int]]:
+    """Jobs in their application phase over time, from job spans.
+
+    Accepts a trace, raw records (e.g. a reloaded JSONL dump), or
+    prebuilt :class:`~repro.obs.spans.RunSpans`.  Uses the
+    app_start/app_end stamps each job span carries from its terminal
+    ``job.done``/``job.failed`` record; jobs without stamps are skipped.
     """
     starts: list[float] = []
     ends: list[float] = []
-    for rec in trace.records:
-        if rec.category in ("job.done", "job.failed"):
-            data = rec.data or {}
-            s, e = data.get("app_start"), data.get("app_end")
-            if s is not None and e is not None:
-                starts.append(s)
-                ends.append(e)
+    for job in _as_spans(source).job_list():
+        if job.app_start is not None and job.app_end is not None:
+            starts.append(job.app_start)
+            ends.append(job.app_end)
     return step_series(starts, ends)
 
 
 def available_workers_series(
-    trace: Trace, initial: int = 0
+    source: _SpanSource, initial: int = 0
 ) -> list[tuple[float, int]]:
-    """Worker population over time from worker.start / worker.stop records.
+    """Worker population over time from worker spans.
 
-    ``worker.stop`` is logged exactly once per agent (normal shutdown or
-    kill), so it is the authoritative decrement; ``worker.lost`` is the
-    dispatcher's *detection* of the same death and is ignored here.
+    A worker span starts at its agent's ``worker.start`` and ends at its
+    ``worker.stop`` — logged exactly once per agent (normal shutdown or
+    kill), so it is the authoritative decrement; the dispatcher's
+    *detection* of the same death (``lost``) is ignored here.
     ``initial`` sets the level before the first record.
     """
     series: list[tuple[float, int]] = []
     level = initial
     events: list[tuple[float, int]] = []
-    for rec in trace.records:
-        if rec.category == "worker.start":
-            events.append((rec.time, 1))
-        elif rec.category == "worker.stop":
-            events.append((rec.time, -1))
+    for worker in _as_spans(source).worker_list():
+        if worker.t_start is not None:
+            events.append((worker.t_start, 1))
+        if worker.t_stop is not None:
+            events.append((worker.t_stop, -1))
     events.sort()
     for t, d in events:
         level += d

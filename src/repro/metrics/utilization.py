@@ -54,6 +54,36 @@ class UtilizationLedger:
         self._t0: Optional[float] = None
         self._t1: Optional[float] = None
 
+    @classmethod
+    def from_spans(cls, spans, allocation_size: int) -> "UtilizationLedger":
+        """Build the ledger from an observability span set.
+
+        ``spans`` is a :class:`repro.obs.spans.RunSpans` (duck-typed to
+        avoid a package cycle).  Each completed job contributes its
+        nominal duration (stamped on the ``job.done`` record) over
+        first-dispatch → completion, exactly like the stand-alone
+        report's live ledger.
+        """
+        ledger = cls(allocation_size)
+        for job in spans.job_list():
+            if not job.ok or job.t_end is None:
+                continue
+            first = job.attempts[0] if job.attempts else None
+            t_start = (
+                first.t_grouped
+                if first is not None and first.t_grouped is not None
+                else job.t_submitted
+            )
+            if t_start is None:
+                continue
+            ledger.add(
+                duration=job.nominal or 0.0,
+                n=job.nodes,
+                t_start=t_start,
+                t_end=job.t_end,
+            )
+        return ledger
+
     def add(
         self,
         duration: float,

@@ -280,7 +280,18 @@ class MpiexecController:
 
             if kind == "register":
                 registered += 1
+                self.platform.trace.log(
+                    "proxy.registered",
+                    {
+                        "job": self.job_id,
+                        "proxy": pid,
+                        "node": self._proxy_node(pid),
+                    },
+                )
                 if registered == n_proxies:
+                    self.platform.trace.log(
+                        "job.pmi_wireup", {"job": self.job_id}
+                    )
                     for sock in self._sockets.values():
                         yield sock.send(("start",), cfg.ctrl_msg_bytes)
             elif kind == "pmi_put":
@@ -291,12 +302,23 @@ class MpiexecController:
                     comm = self._build_comm()
                     t_app_start = env.now
                     commit_bytes = cfg.kvs_bytes_per_rank * self.world_size
-                    for sock in self._sockets.values():
+                    self.platform.trace.log(
+                        "job.app_running", {"job": self.job_id}
+                    )
+                    for wired_pid, sock in self._sockets.items():
+                        self.platform.trace.log(
+                            "proxy.wired",
+                            {"job": self.job_id, "proxy": wired_pid},
+                        )
                         yield sock.send(("commit", comm), commit_bytes)
             elif kind == "exit":
                 _, _pid, status, value = payload
                 exits += 1
                 exited.add(pid)
+                self.platform.trace.log(
+                    "proxy.exited",
+                    {"job": self.job_id, "proxy": pid, "status": status},
+                )
                 if status != 0 and failed is None:
                     failed = f"proxy {pid} exited with status {status}"
                 if value is not None:
@@ -344,6 +366,12 @@ class MpiexecController:
         )
         self._result = result
         self.done.succeed(result)
+
+    def _proxy_node(self, proxy_id: int) -> Optional[int]:
+        """Node id a proxy was assigned to (None for bad/unknown ids)."""
+        if 0 <= proxy_id < len(self.hosts):
+            return self.hosts[proxy_id][0].node_id
+        return None
 
     def _build_comm(self) -> SimComm:
         endpoints = [0] * self.world_size

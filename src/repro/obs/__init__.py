@@ -1,0 +1,54 @@
+"""Observability: lifecycle spans, metrics registry, exporters, reports.
+
+The measurement substrate for the whole reproduction (paper Section
+6.1.5: every reported result derives from worker/task start/stop
+instrumentation).  Four pieces:
+
+* :mod:`repro.obs.spans` — typed job/worker/proxy lifecycle spans
+  reconstructed from trace records.
+* :mod:`repro.obs.metrics` — named counters, time-weighted gauges and
+  quantile histograms components register into.
+* :mod:`repro.obs.export` — JSONL trace dump/reload and Chrome
+  ``trace_event`` output (Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.report` — plain-text run summaries (throughput,
+  utilization, per-stage latency quantiles, fault counts).
+
+:mod:`repro.obs.session` ties them to the CLIs: ``with
+obs.session(trace_out="run.jsonl", report=True):`` captures every
+platform built inside the block and exports on exit.
+"""
+
+from .export import read_jsonl, to_chrome_trace, to_jsonl
+from .metrics import Histogram, Registry, quantile
+from .report import RunReport, render_report
+from .session import ObsSession, active, session
+from .spans import (
+    AttemptSpan,
+    JobSpan,
+    ProxySpan,
+    RunSpans,
+    Transition,
+    WorkerSpan,
+    build_spans,
+)
+
+__all__ = [
+    "AttemptSpan",
+    "Histogram",
+    "JobSpan",
+    "ObsSession",
+    "ProxySpan",
+    "Registry",
+    "RunReport",
+    "RunSpans",
+    "Transition",
+    "WorkerSpan",
+    "active",
+    "build_spans",
+    "quantile",
+    "read_jsonl",
+    "render_report",
+    "session",
+    "to_chrome_trace",
+    "to_jsonl",
+]

@@ -1,0 +1,282 @@
+"""Trace exporters: JSONL dump/reload and Chrome ``trace_event`` format.
+
+* :func:`to_jsonl` / :func:`read_jsonl` — a lossless line-per-record dump
+  of the raw trace, the archival format the ``jets report`` subcommand
+  reads back.
+* :func:`to_chrome_trace` — the Chrome/Perfetto ``trace_event`` JSON
+  format: job attempts, their per-proxy children, and worker busy/idle
+  timelines as complete events, openable in https://ui.perfetto.dev or
+  ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+from ..simkernel import Trace, TraceRecord
+from .spans import RunSpans, build_spans
+
+__all__ = [
+    "to_jsonl",
+    "read_jsonl",
+    "jsonl_runs",
+    "to_chrome_trace",
+    "chrome_events",
+    "sanitize",
+]
+
+#: trace_event process ids per entity family (offset per run in
+#: multi-run exports so Perfetto shows each run as its own process group).
+_PID_JOBS = 1
+_PID_WORKERS = 2
+_PID_PROXIES = 3
+_RUN_STRIDE = 10
+
+
+def sanitize(value):
+    """Best-effort conversion of a trace payload to JSON-safe data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [sanitize(v) for v in value]
+    return str(value)
+
+
+def to_jsonl(
+    source: Union[Trace, Iterable[TraceRecord]],
+    out: Union[str, IO[str]],
+    run: Optional[int] = None,
+    label: str = "",
+    append: bool = False,
+) -> int:
+    """Write trace records as JSON lines; returns the record count.
+
+    ``run``/``label`` tag every line so multi-run sessions (one line of
+    an experiment sweep per run) stay separable on reload.
+    """
+    records = source.records if isinstance(source, Trace) else source
+    close = False
+    if isinstance(out, str):
+        fh = open(out, "a" if append else "w")
+        close = True
+    else:
+        fh = out
+    n = 0
+    try:
+        for rec in records:
+            line: dict = {"t": rec.time, "cat": rec.category}
+            if rec.data is not None:
+                line["data"] = sanitize(rec.data)
+            if run is not None:
+                line["run"] = run
+            if label:
+                line["label"] = label
+            fh.write(json.dumps(line, separators=(",", ":")) + "\n")
+            n += 1
+    finally:
+        if close:
+            fh.close()
+    return n
+
+
+def read_jsonl(
+    source: Union[str, IO[str]], run: Optional[int] = None
+) -> list[TraceRecord]:
+    """Reload trace records from a JSONL dump.
+
+    ``run`` filters to one tagged run; None returns every record.
+    """
+    close = False
+    if isinstance(source, str):
+        fh = open(source)
+        close = True
+    else:
+        fh = source
+    records: list[TraceRecord] = []
+    try:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            obj = json.loads(raw)
+            if run is not None and obj.get("run", 0) != run:
+                continue
+            records.append(
+                TraceRecord(
+                    time=float(obj["t"]),
+                    category=obj["cat"],
+                    data=obj.get("data"),
+                )
+            )
+    finally:
+        if close:
+            fh.close()
+    return records
+
+
+def jsonl_runs(source: Union[str, IO[str]]) -> dict[int, list[TraceRecord]]:
+    """Group a JSONL dump's records by their ``run`` tag (0 if untagged)."""
+    close = False
+    if isinstance(source, str):
+        fh = open(source)
+        close = True
+    else:
+        fh = source
+    runs: dict[int, list[TraceRecord]] = {}
+    try:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            obj = json.loads(raw)
+            runs.setdefault(obj.get("run", 0), []).append(
+                TraceRecord(
+                    time=float(obj["t"]),
+                    category=obj["cat"],
+                    data=obj.get("data"),
+                )
+            )
+    finally:
+        if close:
+            fh.close()
+    return runs
+
+
+def _us(t: float) -> float:
+    """Sim seconds → trace_event microseconds."""
+    return t * 1e6
+
+
+def _complete(name, pid, tid, t0, t1, args=None) -> dict:
+    ev = {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": _us(t0),
+        "dur": max(0.0, _us(t1) - _us(t0)),
+        "cat": "jets",
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _meta(name, pid, args, tid=None) -> dict:
+    ev = {"name": name, "ph": "M", "pid": pid, "args": args}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def chrome_events(
+    spans: RunSpans, run: int = 0, label: str = ""
+) -> list[dict]:
+    """trace_event dicts for one run's spans (pids offset by run)."""
+    base = run * _RUN_STRIDE
+    pid_jobs = base + _PID_JOBS
+    pid_workers = base + _PID_WORKERS
+    pid_proxies = base + _PID_PROXIES
+    tag = f" [{label}]" if label else (f" [run {run}]" if run else "")
+    events: list[dict] = [
+        _meta("process_name", pid_jobs, {"name": f"jobs{tag}"}),
+        _meta("process_name", pid_workers, {"name": f"workers{tag}"}),
+    ]
+    run_end = spans.t_last or 0.0
+
+    any_proxies = False
+    for tid, job in enumerate(spans.jobs.values()):
+        events.append(
+            _meta("thread_name", pid_jobs, {"name": job.job_id}, tid=tid)
+        )
+        for attempt in job.attempts:
+            trs = [
+                tr for tr in attempt.transitions
+                if tr.state not in ("done", "failed", "resubmitted")
+            ]
+            end = attempt.t_end if attempt.t_end is not None else run_end
+            for i, tr in enumerate(trs):
+                t1 = trs[i + 1].time if i + 1 < len(trs) else end
+                events.append(
+                    _complete(
+                        tr.state, pid_jobs, tid, tr.time, t1,
+                        args={
+                            "job": job.job_id,
+                            "attempt": attempt.index,
+                            "outcome": attempt.outcome or "open",
+                        },
+                    )
+                )
+            for proxy in attempt.proxies:
+                any_proxies = True
+                t0 = proxy.t_registered if proxy.t_registered is not None else proxy.t_launched
+                t1 = proxy.t_exited if proxy.t_exited is not None else end
+                if t0 is None:
+                    continue
+                events.append(
+                    _complete(
+                        f"{job.job_id} proxy{proxy.proxy_id}",
+                        pid_proxies,
+                        tid,
+                        t0,
+                        t1,
+                        args={
+                            "job": job.job_id,
+                            "attempt": attempt.index,
+                            "proxy": proxy.proxy_id,
+                            "node": proxy.node,
+                            "status": proxy.status,
+                        },
+                    )
+                )
+    if any_proxies:
+        events.append(
+            _meta("process_name", pid_proxies, {"name": f"proxies{tag}"})
+        )
+
+    for worker in spans.workers.values():
+        tid = worker.worker_id
+        events.append(
+            _meta(
+                "thread_name", pid_workers,
+                {"name": f"worker{worker.worker_id}"}, tid=tid,
+            )
+        )
+        for t0, t1, state in worker.state_segments(until=run_end):
+            events.append(
+                _complete(
+                    state, pid_workers, tid, t0, t1,
+                    args={"worker": worker.worker_id, "node": worker.node},
+                )
+            )
+    return events
+
+
+def to_chrome_trace(
+    sources,
+    out: Union[str, IO[str]],
+) -> int:
+    """Write a Chrome ``trace_event`` file; returns the event count.
+
+    ``sources`` is a Trace / record iterable / RunSpans, or a list of
+    ``(label, source)`` pairs for multi-run sessions.
+    """
+    if isinstance(sources, (Trace, RunSpans)) or (
+        sources and isinstance(sources, list)
+        and isinstance(sources[0], TraceRecord)
+    ):
+        sources = [("", sources)]
+    events: list[dict] = []
+    for run, (label, src) in enumerate(sources):
+        spans = src if isinstance(src, RunSpans) else build_spans(src)
+        events.extend(chrome_events(spans, run=run, label=label))
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, out)
+    return len(events)

@@ -1,0 +1,214 @@
+"""Run-summary reports rendered from lifecycle spans.
+
+Computes the quantities the paper reports — task throughput (Fig. 6),
+Eq. (1) utilization (Fig. 9/12), fault/resubmit counts (Fig. 10) — plus
+per-stage latency quantiles (queue-wait, wire-up) from the span layer,
+and renders them as a plain-text block.  Works on a live trace or on a
+JSONL dump reloaded by ``jets report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..simkernel import Trace, TraceRecord
+from .metrics import Histogram, Registry
+from .spans import RunSpans, build_spans
+
+__all__ = ["RunReport", "render_report"]
+
+_STAGES = ("queue_wait", "wireup", "app")
+
+
+@dataclass
+class RunReport:
+    """Derived metrics of one run, ready to render."""
+
+    machine: str = ""
+    allocation_nodes: Optional[int] = None
+    jobs_total: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    resubmissions: int = 0
+    faults: int = 0
+    workers_seen: int = 0
+    workers_lost: int = 0
+    span: float = 0.0
+    throughput: float = 0.0
+    utilization: Optional[float] = None
+    worker_busy_fraction: Optional[float] = None
+    #: stage name -> Histogram.summary() dict
+    stages: dict[str, dict] = field(default_factory=dict)
+    #: Registry snapshot (live runs only; absent when rebuilt from JSONL).
+    instruments: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: RunSpans,
+        registry: Optional[Registry] = None,
+        allocation_nodes: Optional[int] = None,
+    ) -> "RunReport":
+        """Compute every summary quantity from a run's spans."""
+        jobs = spans.job_list()
+        completed = [j for j in jobs if j.ok]
+        failed = [j for j in jobs if j.ok is False]
+
+        stage_hists = {name: Histogram(name) for name in _STAGES}
+        for job in jobs:
+            for attempt in job.attempts:
+                qw = attempt.queue_wait
+                if qw is not None:
+                    stage_hists["queue_wait"].observe(qw)
+                wl = attempt.wireup_latency
+                if wl is not None:
+                    stage_hists["wireup"].observe(wl)
+                if (
+                    attempt.t_app_running is not None
+                    and attempt.t_end is not None
+                    and attempt.outcome == "done"
+                ):
+                    stage_hists["app"].observe(
+                        attempt.t_end - attempt.t_app_running
+                    )
+
+        # Job span: first dispatch to last completion — the same window
+        # the stand-alone report's ledger charges (long tails included).
+        starts = [
+            a.t_grouped
+            for j in completed
+            for a in j.attempts[:1]
+            if a.t_grouped is not None
+        ]
+        ends = [j.t_end for j in completed if j.t_end is not None]
+        active_span = (max(ends) - min(starts)) if starts and ends else 0.0
+
+        alloc = allocation_nodes or spans.allocation_nodes
+        utilization: Optional[float] = None
+        if alloc and active_span > 0:
+            # Lazy import: metrics.timeline pulls obs.spans in at import
+            # time, so the reverse edge must not run at module load.
+            from ..metrics.utilization import UtilizationLedger
+
+            ledger = UtilizationLedger.from_spans(spans, alloc)
+            utilization = ledger.utilization()
+
+        workers = spans.worker_list()
+        busy_fraction: Optional[float] = None
+        if workers:
+            total = 0.0
+            busy = 0.0
+            for w in workers:
+                for s, e, state in w.state_segments(until=spans.t_last):
+                    total += e - s
+                    if state == "busy":
+                        busy += e - s
+            busy_fraction = (busy / total) if total > 0 else None
+
+        return cls(
+            machine=spans.machine,
+            allocation_nodes=alloc,
+            jobs_total=len(jobs),
+            jobs_completed=len(completed),
+            jobs_failed=len(failed),
+            resubmissions=sum(j.resubmissions for j in jobs),
+            faults=len(spans.faults),
+            workers_seen=len(workers),
+            workers_lost=sum(1 for w in workers if w.outcome == "lost"),
+            span=active_span,
+            throughput=(len(completed) / active_span) if active_span > 0 else 0.0,
+            utilization=utilization,
+            worker_busy_fraction=busy_fraction,
+            stages={
+                name: h.summary()
+                for name, h in stage_hists.items()
+                if h.count
+            },
+            instruments=registry.snapshot() if registry is not None else {},
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        source: Union[Trace, Iterable[TraceRecord]],
+        registry: Optional[Registry] = None,
+        allocation_nodes: Optional[int] = None,
+    ) -> "RunReport":
+        """Build the report straight from trace records."""
+        return cls.from_spans(
+            build_spans(source), registry, allocation_nodes
+        )
+
+    def render(self, title: str = "") -> str:
+        """Plain-text run summary."""
+        head = title or (self.machine or "run")
+        alloc = (
+            f" on {self.allocation_nodes} nodes"
+            if self.allocation_nodes
+            else ""
+        )
+        lines = [
+            f"== run report: {head}{alloc} ==",
+            (
+                f"jobs: {self.jobs_total} submitted, "
+                f"{self.jobs_completed} completed, "
+                f"{self.jobs_failed} failed, "
+                f"{self.resubmissions} resubmissions"
+            ),
+            (
+                f"workers: {self.workers_seen} seen, "
+                f"{self.workers_lost} lost, "
+                f"{self.faults} faults injected"
+            ),
+            (
+                f"span: {self.span:.3f} s, "
+                f"throughput: {self.throughput:.2f} jobs/s"
+            ),
+        ]
+        if self.utilization is not None:
+            lines.append(f"utilization (Eq. 1): {self.utilization:.1%}")
+        if self.worker_busy_fraction is not None:
+            lines.append(
+                f"worker busy fraction: {self.worker_busy_fraction:.1%}"
+            )
+        if self.stages:
+            lines.append(
+                "stage latencies (s):"
+                f"{'':<6}{'p50':>10}{'p95':>10}{'p99':>10}"
+                f"{'mean':>10}{'max':>10}{'n':>7}"
+            )
+            for name in _STAGES:
+                s = self.stages.get(name)
+                if not s:
+                    continue
+                lines.append(
+                    f"  {name:<15}"
+                    f"{s['p50']:>10.4f}{s['p95']:>10.4f}{s['p99']:>10.4f}"
+                    f"{s['mean']:>10.4f}{s['max']:>10.4f}{s['count']:>7d}"
+                )
+        counters = {
+            k: v for k, v in self.instruments.items() if v["type"] == "counter"
+        }
+        if counters:
+            lines.append(
+                "counters: "
+                + ", ".join(f"{k}={v['value']}" for k, v in sorted(counters.items()))
+            )
+        occ = self.instruments.get("dispatcher.occupancy")
+        if occ is not None:
+            lines.append(
+                f"dispatcher service-loop occupancy: {occ['mean']:.1%} mean"
+            )
+        return "\n".join(lines)
+
+
+def render_report(
+    source: Union[Trace, Iterable[TraceRecord], RunSpans],
+    registry: Optional[Registry] = None,
+    title: str = "",
+    allocation_nodes: Optional[int] = None,
+) -> str:
+    """One-call convenience: spans/trace in, text report out."""
+    spans = source if isinstance(source, RunSpans) else build_spans(source)
+    return RunReport.from_spans(spans, registry, allocation_nodes).render(title)

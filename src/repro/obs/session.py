@@ -1,0 +1,143 @@
+"""Ambient observability sessions: capture every platform a run creates.
+
+Experiment harnesses construct :class:`~repro.cluster.platform.Platform`
+instances deep inside their sweeps, so exporters can't be threaded
+through every call site.  Instead, an :class:`ObsSession` is installed as
+an ambient context (``with obs.session(trace_out=...)``): every platform
+built while it is active attaches its trace and metrics registry, and on
+exit the session writes the JSONL dump, the Chrome trace, and/or prints
+per-run summary reports.
+
+Sessions nest (a stack); platforms attach to the innermost active one.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import IO, Optional
+
+from ..simkernel import Trace
+from .metrics import Registry
+
+__all__ = ["ObsSession", "session", "active", "unwritable_reason"]
+
+_STACK: list["ObsSession"] = []
+
+
+def active() -> Optional["ObsSession"]:
+    """The innermost active session, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+def session(
+    trace_out: Optional[str] = None,
+    chrome_out: Optional[str] = None,
+    report: bool = False,
+    report_stream: Optional[IO[str]] = None,
+) -> "ObsSession":
+    """Create a session context (see :class:`ObsSession`)."""
+    return ObsSession(
+        trace_out=trace_out,
+        chrome_out=chrome_out,
+        report=report,
+        report_stream=report_stream,
+    )
+
+
+class ObsSession:
+    """Collects (label, trace, registry) per run and exports on exit."""
+
+    def __init__(
+        self,
+        trace_out: Optional[str] = None,
+        chrome_out: Optional[str] = None,
+        report: bool = False,
+        report_stream: Optional[IO[str]] = None,
+    ):
+        self.trace_out = trace_out
+        # Acceptance path: --trace-out run.jsonl also yields a Chrome
+        # trace next to it unless an explicit path was given.
+        if chrome_out is None and trace_out is not None:
+            chrome_out = derive_chrome_path(trace_out)
+        self.chrome_out = chrome_out
+        self.report = report
+        self.report_stream = report_stream
+        self.runs: list[tuple[str, Trace, Optional[Registry]]] = []
+
+    def attach(
+        self,
+        trace: Trace,
+        label: str = "",
+        registry: Optional[Registry] = None,
+    ) -> None:
+        """Register one run's trace (called by Platform.__init__)."""
+        self.runs.append((label, trace, registry))
+
+    def __enter__(self) -> "ObsSession":
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _STACK.remove(self)
+        if exc_type is None:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every configured output for the captured runs."""
+        if not self.runs:
+            return
+        from .export import to_chrome_trace, to_jsonl
+        from .report import render_report
+
+        if self.trace_out:
+            try:
+                with open(self.trace_out, "w") as fh:
+                    for i, (label, trace, _reg) in enumerate(self.runs):
+                        to_jsonl(trace, fh, run=i, label=label)
+            except OSError as exc:
+                # Don't lose the report (or raise after a long sweep)
+                # over an unwritable dump path.
+                print(f"obs: cannot write {self.trace_out}: {exc}",
+                      file=sys.stderr)
+        if self.chrome_out:
+            try:
+                to_chrome_trace(
+                    [(label, trace) for label, trace, _reg in self.runs],
+                    self.chrome_out,
+                )
+            except OSError as exc:
+                print(f"obs: cannot write {self.chrome_out}: {exc}",
+                      file=sys.stderr)
+        if self.report:
+            stream = self.report_stream or sys.stdout
+            for i, (label, trace, registry) in enumerate(self.runs):
+                title = label or f"run {i}"
+                print(
+                    render_report(trace, registry=registry, title=title),
+                    file=stream,
+                )
+
+
+def unwritable_reason(path: Optional[str]) -> Optional[str]:
+    """Why ``path`` can't be written, or None if it looks writable.
+
+    CLIs call this up front so a bad ``--trace-out`` fails before the
+    simulation runs, not at flush time.
+    """
+    if not path:
+        return None
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        return f"directory {directory} does not exist"
+    if not os.access(directory, os.W_OK):
+        return f"directory {directory} is not writable"
+    return None
+
+
+def derive_chrome_path(trace_out: str) -> str:
+    """``run.jsonl`` → ``run.trace.json`` (sibling Chrome trace path)."""
+    for suffix in (".jsonl", ".json"):
+        if trace_out.endswith(suffix):
+            return trace_out[: -len(suffix)] + ".trace.json"
+    return trace_out + ".trace.json"

@@ -36,12 +36,21 @@ class Trace:
         """Record ``data`` under ``category`` at the current sim time."""
         self.records.append(TraceRecord(self.env.now, category, data))
 
-    def select(self, category: str) -> list[TraceRecord]:
-        """All records in ``category``, in time order."""
+    def select(self, category: str, prefix: bool = False) -> list[TraceRecord]:
+        """All records in ``category``, in time order.
+
+        With ``prefix=True``, ``category`` matches as a prefix instead
+        (``select("job.", prefix=True)`` returns every job-lifecycle
+        record in one scan).
+        """
+        if prefix:
+            return [r for r in self.records if r.category.startswith(category)]
         return [r for r in self.records if r.category == category]
 
-    def times(self, category: str) -> list[float]:
-        """Timestamps of all records in ``category``."""
+    def times(self, category: str, prefix: bool = False) -> list[float]:
+        """Timestamps of all records in ``category`` (or category prefix)."""
+        if prefix:
+            return [r.time for r in self.records if r.category.startswith(category)]
         return [r.time for r in self.records if r.category == category]
 
     def __len__(self) -> int:
@@ -49,15 +58,45 @@ class Trace:
 
 
 class Counter:
-    """Monotonic counter with optional trace hookup."""
+    """Monotonic counter with optional trace hookup.
 
-    def __init__(self, name: str = ""):
+    When connected to a :class:`Trace` (directly or through the
+    observability registry), every :meth:`incr` also emits a trace record
+    carrying the counter name and new value, so counter activity lands on
+    the same timeline as the lifecycle spans.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        trace: Optional["Trace"] = None,
+        category: Optional[str] = None,
+    ):
         self.name = name
         self.value = 0
+        self._trace: Optional[Trace] = None
+        self._category = ""
+        if trace is not None:
+            self.connect(trace, category)
+
+    def connect(self, trace: "Trace", category: Optional[str] = None) -> "Counter":
+        """Hook this counter to ``trace``; returns self for chaining."""
+        self._trace = trace
+        self._category = category or f"counter.{self.name or 'anonymous'}"
+        return self
+
+    @property
+    def connected(self) -> bool:
+        """Whether increments are mirrored into a trace."""
+        return self._trace is not None
 
     def incr(self, amount: int = 1) -> int:
         """Add ``amount`` and return the new value."""
         self.value += amount
+        if self._trace is not None:
+            self._trace.log(
+                self._category, {"counter": self.name, "value": self.value}
+            )
         return self.value
 
 
@@ -74,9 +113,19 @@ class Gauge:
         self.samples: list[tuple[float, float]] = [(env.now, self.value)]
 
     def set(self, value: float) -> None:
-        """Set the gauge to an absolute value at the current time."""
+        """Set the gauge to an absolute value at the current time.
+
+        Same-timestamp updates coalesce into one breakpoint (the last
+        value wins) — a step function has at most one level per instant,
+        and repeated :meth:`add` calls at a single sim time would
+        otherwise bloat :meth:`series` and slow :meth:`integral`.
+        """
         self.value = float(value)
-        self.samples.append((self.env.now, self.value))
+        now = self.env.now
+        if self.samples and self.samples[-1][0] == now:
+            self.samples[-1] = (now, self.value)
+        else:
+            self.samples.append((now, self.value))
 
     def add(self, delta: float) -> None:
         """Adjust the gauge by ``delta`` at the current time."""

@@ -130,6 +130,15 @@ class CoasterService:
         sizes = (
             spectrum_blocks(cfg.workers) if cfg.spectrum else [cfg.workers]
         )
+        self.platform.trace.log(
+            "run.allocation",
+            {
+                "machine": self.platform.spec.name,
+                "nodes": cfg.workers,
+                "blocks": sizes,
+                "spectrum": cfg.spectrum,
+            },
+        )
         staging = None
         if cfg.stage_binaries:
             staging = StagingManager(self.env, [PROXY_IMAGE])
@@ -141,8 +150,11 @@ class CoasterService:
         self.ready.succeed(len(self.workers))
 
     def _start_block(self, size: int, staging) -> Generator:
+        self.platform.trace.log("coasters.block_requested", {"size": size})
         alloc = yield from self.batch.submit(size, self.config.walltime)
         self.allocations.append(alloc)
+        self.platform.trace.log("coasters.block_ready", {"size": size})
+        self.platform.metrics.counter("coasters.blocks").incr()
         for node in alloc.nodes:
             agent = WorkerAgent(
                 self.platform,

@@ -1,0 +1,115 @@
+"""Tests for the metrics registry: quantiles, histograms, instruments."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, Registry, quantile
+from repro.simkernel import Counter, Environment, Gauge
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 9.0
+
+    def test_singleton(self):
+        assert quantile([7.0], 0.25) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_matches_numpy_linear_method(self, values, q):
+        assert quantile(values, q) == pytest.approx(
+            float(np.quantile(values, q)), abs=1e-6
+        )
+
+
+class TestHistogram:
+    def test_summary_percentiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p95"] == pytest.approx(float(np.quantile(range(1, 101), 0.95)))
+        assert s["mean"] == pytest.approx(50.5)
+
+    def test_empty_summary_is_zeroes(self):
+        s = Histogram().summary()
+        assert s == {
+            "count": 0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_accessors_are_idempotent(self, env):
+        reg = Registry(env)
+        assert reg.counter("ops") is reg.counter("ops")
+        assert reg.gauge("depth") is reg.gauge("depth")
+        assert reg.histogram("wait") is reg.histogram("wait")
+
+    def test_get_and_names(self, env):
+        reg = Registry(env)
+        c = reg.counter("ops")
+        g = reg.gauge("depth")
+        h = reg.histogram("wait")
+        assert reg.get("ops") is c
+        assert reg.get("depth") is g
+        assert reg.get("wait") is h
+        assert reg.get("nope") is None
+        assert reg.names() == ["depth", "ops", "wait"]
+
+    def test_instrument_types(self, env):
+        reg = Registry(env)
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)
+
+    def test_traced_counter_logs_increments(self, env):
+        from repro.simkernel import Trace
+
+        trace = Trace(env)
+        reg = Registry(env, trace)
+        c = reg.counter("faults", traced=True)
+        c.incr()
+        c.incr(2)
+        recs = trace.select("counter.faults")
+        assert [r.data["value"] for r in recs] == [1, 3]
+
+    def test_snapshot_shapes(self, env):
+        reg = Registry(env)
+        reg.counter("ops").incr(4)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("wait").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["ops"] == {"type": "counter", "value": 4}
+        assert snap["depth"]["type"] == "gauge"
+        assert snap["depth"]["value"] == 2.0
+        assert snap["wait"]["type"] == "histogram"
+        assert snap["wait"]["count"] == 1

@@ -1,0 +1,139 @@
+"""Tests for run reports and the CLI observability surface."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.jets import JetsConfig, Simulation
+from repro.core.tasklist import TaskList
+from repro.cluster.machine import generic_cluster
+from repro.obs.report import RunReport, render_report
+from repro.obs.session import active, session
+from repro.obs.spans import build_spans
+
+
+@pytest.fixture
+def taskfile(tmp_path):
+    path = tmp_path / "tasks.txt"
+    path.write_text(
+        "MPI: 2 mpi-bench 0.5\n"
+        "MPI: 2 mpi-bench 0.5\n"
+        "SERIAL: sleep 0.2\n"
+    )
+    return str(path)
+
+
+def run_sim():
+    sim = Simulation(generic_cluster(nodes=4, cores_per_node=2), JetsConfig())
+    tasks = TaskList.from_text("MPI: 2 mpi-bench 0.5\nSERIAL: sleep 0.2\n")
+    return sim.run_standalone(tasks)
+
+
+class TestRunReport:
+    def test_counts_match_batch_report(self):
+        batch = run_sim()
+        rep = RunReport.from_trace(
+            batch.platform.trace,
+            registry=batch.platform.metrics,
+            allocation_nodes=batch.allocation_nodes,
+        )
+        assert rep.jobs_total == batch.jobs_total
+        assert rep.jobs_completed == batch.jobs_completed
+        assert rep.jobs_failed == batch.jobs_failed
+
+    def test_span_utilization_matches_live_ledger(self):
+        batch = run_sim()
+        rep = RunReport.from_trace(
+            batch.platform.trace, allocation_nodes=batch.allocation_nodes
+        )
+        assert rep.utilization == pytest.approx(batch.utilization)
+
+    def test_render_mentions_stages_and_counters(self):
+        batch = run_sim()
+        text = render_report(
+            batch.platform.trace,
+            registry=batch.platform.metrics,
+            title="unit",
+        )
+        assert "== run report: unit" in text
+        assert "queue_wait" in text
+        assert "wireup" in text
+        assert "p95" in text
+        assert "dispatcher.ops" in text
+
+
+class TestObsSessionCapture:
+    def test_platforms_attach_to_innermost_session(self):
+        with session() as outer:
+            with session() as inner:
+                assert active() is inner
+                run_sim()
+            assert active() is outer
+        assert len(inner.runs) == 1
+        assert outer.runs == []
+
+    def test_flush_writes_all_artifacts(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "run.jsonl")
+        with session(trace_out=jsonl, report=True):
+            run_sim()
+        out = capsys.readouterr().out
+        assert "== run report:" in out
+        assert os.path.exists(jsonl)
+        chrome = str(tmp_path / "run.trace.json")
+        assert os.path.exists(chrome)
+        assert json.load(open(chrome))["traceEvents"]
+
+    def test_no_flush_on_exception(self, tmp_path):
+        jsonl = str(tmp_path / "boom.jsonl")
+        with pytest.raises(RuntimeError):
+            with session(trace_out=jsonl):
+                run_sim()
+                raise RuntimeError("boom")
+        assert not os.path.exists(jsonl)
+
+
+class TestCliObservability:
+    def test_trace_out_produces_artifacts(self, taskfile, tmp_path, capsys):
+        jsonl = str(tmp_path / "run.jsonl")
+        code = main(
+            [
+                taskfile,
+                "--machine", "generic",
+                "--nodes", "4",
+                "--trace-out", jsonl,
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== run report:" in out
+        assert "3/3 jobs" in out  # batch summary still printed
+        assert os.path.exists(jsonl)
+        assert os.path.exists(str(tmp_path / "run.trace.json"))
+
+    def test_report_subcommand_round_trip(self, taskfile, tmp_path, capsys):
+        jsonl = str(tmp_path / "run.jsonl")
+        assert main(
+            [taskfile, "--machine", "generic", "--nodes", "4",
+             "--trace-out", jsonl]
+        ) == 0
+        capsys.readouterr()
+        code = main(["report", jsonl])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== run report:" in out
+        assert "3 submitted, 3 completed" in out
+
+    def test_report_subcommand_missing_file(self, capsys):
+        code = main(["report", "/does/not/exist.jsonl"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_subcommand_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["report", str(empty)])
+        assert code == 1
+        assert "no trace records" in capsys.readouterr().err

@@ -111,3 +111,82 @@ class TestIntervalLog:
 
     def test_empty_span(self):
         assert IntervalLog().span() == (0.0, 0.0)
+
+class TestTracePrefixSelect:
+    def test_prefix_matches_category_family(self, env):
+        trace = Trace(env)
+        trace.log("job.queued")
+        trace.log("job.done")
+        trace.log("jobless")
+        trace.log("worker.idle")
+        assert len(trace.select("job.", prefix=True)) == 2
+        assert trace.times("job.", prefix=True) == [0, 0]
+
+    def test_exact_match_stays_default(self, env):
+        trace = Trace(env)
+        trace.log("job.queued")
+        trace.log("job.queued.extra")
+        assert len(trace.select("job.queued")) == 1
+        assert len(trace.select("job.queued", prefix=True)) == 2
+
+
+class TestCounterTraceHookup:
+    def test_connect_mirrors_increments(self, env):
+        trace = Trace(env)
+        c = Counter("ops").connect(trace)
+        assert c.connected
+
+        def proc():
+            c.incr()
+            yield env.timeout(1)
+            c.incr(2)
+
+        env.process(proc())
+        env.run()
+        recs = trace.select("counter.ops")
+        assert [(r.time, r.data["value"]) for r in recs] == [(0, 1), (1, 3)]
+        assert recs[0].data["counter"] == "ops"
+
+    def test_custom_category(self, env):
+        trace = Trace(env)
+        c = Counter("n", trace=trace, category="my.cat")
+        c.incr()
+        assert len(trace.select("my.cat")) == 1
+
+    def test_unconnected_counter_does_not_log(self, env):
+        c = Counter("quiet")
+        assert not c.connected
+        c.incr()  # no trace attached; must not raise
+
+
+class TestGaugeCoalescing:
+    def test_same_timestamp_keeps_last_value(self, env):
+        g = Gauge(env, 0)
+        g.set(5)
+        g.set(7)  # same sim time: replaces, not appends
+        assert g.series() == [(0, 7)]
+
+    def test_distinct_timestamps_append(self, env):
+        g = Gauge(env, 0)
+
+        def proc():
+            g.set(1)
+            yield env.timeout(2)
+            g.set(2)
+            g.set(3)
+
+        env.process(proc())
+        env.run()
+        assert g.series() == [(0, 1), (2, 3)]
+
+    def test_integral_unaffected_by_transients(self, env):
+        g = Gauge(env, 0)
+
+        def proc():
+            g.set(100)  # transient at t=0...
+            g.set(2)    # ...settles to 2 in the same instant
+            yield env.timeout(5)
+
+        env.process(proc())
+        env.run()
+        assert g.integral() == pytest.approx(10.0)
