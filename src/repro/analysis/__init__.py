@@ -1,0 +1,63 @@
+"""Static and runtime invariant checking for the reproduction.
+
+The evaluation pipeline rests on two promises nothing else enforces:
+every metric is derived from well-formed trace records (paper Section
+6.1.5), and two runs with the same seed produce identical traces
+(:mod:`repro.simkernel.core`).  This package makes both checkable:
+
+* :mod:`.schema` — the central registry of legal trace categories and
+  their payload keys.
+* :mod:`.lifecycle` — declarative job/worker/proxy state machines
+  (shared with :mod:`repro.obs.spans`).
+* :mod:`.framework` — a pluggable AST lint framework with
+  ``# repro: noqa[RULE]`` suppressions.
+* :mod:`.trace_rules`, :mod:`.determinism_rules`,
+  :mod:`.simkernel_rules` — the repo-specific rule sets (TR*, DT*, SK*).
+* :mod:`.tracecheck` — runtime validation of recorded runs (TV*).
+* :mod:`.cli` — the ``jets lint`` / ``jets lint-trace`` subcommands.
+"""
+
+from .framework import (
+    Finding,
+    LintResult,
+    Module,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+    rules_for,
+)
+from .lifecycle import (
+    JOB_MACHINE,
+    MACHINES,
+    PROXY_MACHINE,
+    WORKER_MACHINE,
+    StateMachine,
+)
+from .schema import CategorySpec, REGISTRY, known_category, lookup
+from .tracecheck import TraceIssue, validate_records, validate_trace
+
+__all__ = [
+    "CategorySpec",
+    "Finding",
+    "JOB_MACHINE",
+    "LintResult",
+    "MACHINES",
+    "Module",
+    "PROXY_MACHINE",
+    "REGISTRY",
+    "Rule",
+    "StateMachine",
+    "TraceIssue",
+    "WORKER_MACHINE",
+    "all_rules",
+    "known_category",
+    "lint_paths",
+    "lint_source",
+    "lookup",
+    "register",
+    "rules_for",
+    "validate_records",
+    "validate_trace",
+]

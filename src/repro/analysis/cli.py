@@ -1,0 +1,169 @@
+"""``jets lint`` / ``jets lint-trace`` subcommands.
+
+Usage::
+
+    jets lint [PATH ...] [--select RULES] [--min-severity LEVEL] [--list-rules]
+    jets lint-trace RUN.jsonl [--run N] [--no-schema] [--no-lifecycle]
+
+``jets lint`` runs the static rule sets over Python sources (default:
+``src`` if present, else the current directory) and exits non-zero when
+any finding at or above ``--min-severity`` survives the inline
+``# repro: noqa[RULE]`` suppressions.  ``jets lint-trace`` validates a
+recorded JSONL run against the trace schema registry and the lifecycle
+state machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .framework import SEVERITIES, all_rules, lint_paths
+from .tracecheck import validate_records
+
+__all__ = [
+    "build_lint_parser",
+    "build_lint_trace_parser",
+    "lint_main",
+    "lint_trace_main",
+]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jets lint",
+        description="Static invariant checks (trace schema, determinism, "
+        "simkernel misuse) over Python sources.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: ./src or .)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--min-severity", choices=SEVERITIES, default="warning",
+        help="findings below this level are reported but do not fail "
+        "the run (default: warning)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def build_lint_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jets lint-trace",
+        description="Validate a recorded JSONL trace against the schema "
+        "registry and lifecycle state machines.",
+    )
+    parser.add_argument("tracefile", help="JSONL trace from --trace-out")
+    parser.add_argument(
+        "--run", type=int, default=None,
+        help="validate only the given tagged run (default: each run)",
+    )
+    parser.add_argument(
+        "--no-schema", action="store_true",
+        help="skip category/payload schema checks",
+    )
+    parser.add_argument(
+        "--no-lifecycle", action="store_true",
+        help="skip lifecycle state-machine checks",
+    )
+    parser.add_argument(
+        "--max-issues", type=int, default=50, metavar="N",
+        help="print at most N issues per run (default: 50)",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets lint`` entry point; returns the exit code."""
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in sorted(all_rules(), key=lambda r: r.id):
+            print(f"{rule.id}  [{rule.severity:7s}] {rule.description}")
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    select = (
+        [s for s in args.select.split(",") if s] if args.select else None
+    )
+    try:
+        result = lint_paths(paths, select=select)
+    except ValueError as exc:
+        print(f"jets lint: {exc}", file=sys.stderr)
+        return 2
+    for error in result.errors:
+        print(f"jets lint: {error}", file=sys.stderr)
+    for finding in result.findings:
+        print(finding.render())
+    threshold = SEVERITIES.index(args.min_severity)
+    failing = [
+        f for f in result.findings
+        if SEVERITIES.index(f.severity) >= threshold
+    ]
+    summary = ", ".join(
+        f"{result.count(sev)} {sev}" for sev in reversed(SEVERITIES)
+        if result.count(sev)
+    )
+    print(
+        f"jets lint: {result.files} files checked — "
+        + (summary if summary else "clean")
+    )
+    if result.errors:
+        return 2
+    return 1 if failing else 0
+
+
+def lint_trace_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets lint-trace`` entry point; returns the exit code."""
+    args = build_lint_trace_parser().parse_args(argv)
+    from ..obs.export import jsonl_runs
+
+    try:
+        runs = jsonl_runs(args.tracefile)
+    except OSError as exc:
+        print(f"jets lint-trace: cannot read {args.tracefile}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"jets lint-trace: bad trace file: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"jets lint-trace: {args.tracefile} holds no trace records",
+              file=sys.stderr)
+        return 2
+    if args.run is not None:
+        if args.run not in runs:
+            print(f"jets lint-trace: no run {args.run} in {args.tracefile}",
+                  file=sys.stderr)
+            return 2
+        runs = {args.run: runs[args.run]}
+
+    total = 0
+    for run_id in sorted(runs):
+        records = runs[run_id]
+        issues = validate_records(
+            records,
+            check_schema=not args.no_schema,
+            check_lifecycle=not args.no_lifecycle,
+        )
+        total += len(issues)
+        tag = f"run {run_id}: " if len(runs) > 1 or run_id else ""
+        for issue in issues[: args.max_issues]:
+            print(f"{tag}{issue.render()}")
+        if len(issues) > args.max_issues:
+            print(f"{tag}... {len(issues) - args.max_issues} more issues")
+        print(
+            f"jets lint-trace: {tag}{len(records)} records — "
+            + (f"{len(issues)} issues" if issues else "valid")
+        )
+    return 1 if total else 0

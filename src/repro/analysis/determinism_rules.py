@@ -1,0 +1,218 @@
+"""Static determinism checks for simkernel-driven code.
+
+The DES kernel promises that two runs with the same seed produce
+identical traces (:mod:`repro.simkernel.core`).  Anything that reads the
+host environment breaks that promise silently.  Rules:
+
+* **DT001** — wall-clock reads (``time.time``, ``time.monotonic``,
+  ``time.perf_counter``, ``datetime.now``, …).  Simulated components
+  must use ``env.now``.
+* **DT002** — the process-global ``random`` module (module functions
+  share hidden state seeded from the OS).  Use
+  :class:`repro.simkernel.rng.RngRegistry` named streams.
+* **DT003** — unseeded numpy randomness: ``np.random.default_rng()``
+  with no seed argument, or the legacy global ``np.random.*`` functions.
+* **DT004** — iterating an unordered ``set``/``frozenset`` expression
+  (set literals, ``set(...)`` calls): iteration order varies with hash
+  seeding and perturbs event scheduling.  Sort or use a list/dict.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, Module, Rule, register
+
+__all__ = ["WallClock", "GlobalRandom", "UnseededNumpyRandom", "SetIteration"]
+
+#: Wall-clock attributes of the ``time`` module.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "localtime",
+    "gmtime",
+}
+
+#: Wall-clock constructors on datetime/date classes.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.expr) -> str:
+    """Dotted source form of an attribute/name chain ('' otherwise)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _imported_names(module: Module) -> dict[str, str]:
+    """Local name -> originating module for import/from-import bindings."""
+    origins: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                origins[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return origins
+
+
+@register
+class WallClock(Rule):
+    id = "DT001"
+    severity = "error"
+    description = "wall-clock read in simulation code (use env.now)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        origins = _imported_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            parts = dotted.split(".")
+            # Resolve the leading name through the module's imports, so
+            # `import time as t` and `from time import perf_counter`
+            # are both seen as the time module.
+            resolved = origins.get(parts[0], parts[0]).split(".") + parts[1:]
+            bad = (
+                # time.time(), t.monotonic(), perf_counter()...
+                (resolved[0] == "time" and len(resolved) > 1
+                 and resolved[-1] in _TIME_FUNCS)
+                # datetime.now(), datetime.datetime.utcnow(), date.today()
+                or (len(resolved) > 1
+                    and resolved[-1] in _DATETIME_FUNCS
+                    and resolved[-2] in ("datetime", "date"))
+            )
+            if bad:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {dotted}() breaks seeded-run "
+                    "determinism; use the simulation clock (env.now)",
+                )
+
+
+@register
+class GlobalRandom(Rule):
+    id = "DT002"
+    severity = "error"
+    description = "process-global random module in simulation code"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        origins = _imported_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            parts = dotted.split(".")
+            if origins.get(parts[0], parts[0]) == "random" and len(parts) > 1:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() uses the process-global RNG; draw from a "
+                    "named RngRegistry stream instead",
+                )
+            elif (
+                len(parts) == 1
+                and origins.get(parts[0], "").startswith("random.")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() (imported from random) uses the "
+                    "process-global RNG; draw from a named RngRegistry "
+                    "stream instead",
+                )
+
+
+@register
+class UnseededNumpyRandom(Rule):
+    id = "DT003"
+    severity = "error"
+    description = "unseeded numpy randomness in simulation code"
+
+    _GLOBAL_FUNCS = {
+        "rand", "randn", "randint", "random", "choice", "shuffle",
+        "permutation", "seed", "uniform", "normal", "exponential",
+    }
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        origins = _imported_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            parts = dotted.split(".")
+            root = origins.get(parts[0], parts[0])
+            if root != "numpy" and parts[0] not in ("np", "numpy"):
+                continue
+            tail = parts[1:]
+            if tail[:1] != ["random"] or len(tail) < 2:
+                continue
+            if tail[1] == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "OS-entropy seeded; pass a seed or use an "
+                        "RngRegistry stream",
+                    )
+            elif tail[1] in self._GLOBAL_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() uses numpy's global RNG; use a seeded "
+                    "Generator (RngRegistry stream)",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIteration(Rule):
+    id = "DT004"
+    severity = "warning"
+    description = "iteration over an unordered set expression"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a set yields hash-seed-dependent order "
+                        "that can perturb event scheduling; sort it or use "
+                        "a list/dict",
+                    )

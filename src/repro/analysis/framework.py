@@ -1,0 +1,212 @@
+"""Pluggable AST lint framework with ``# repro: noqa[RULE]`` suppressions.
+
+A :class:`Rule` inspects one parsed module and yields :class:`Finding`
+objects.  The runner owns file discovery, parsing, suppression handling
+and severity filtering; rules stay declarative.  Repo-specific rule sets
+live in :mod:`.trace_rules`, :mod:`.determinism_rules` and
+:mod:`.simkernel_rules` and register themselves via :func:`register`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Type
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Module",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_for",
+    "lint_source",
+    "lint_paths",
+    "LintResult",
+]
+
+#: Severity levels, in increasing order of gravity.
+SEVERITIES = ("info", "warning", "error")
+Severity = str
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9, ]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+class Module:
+    """One parsed source file handed to every rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        #: line number -> frozenset of suppressed rule ids (empty = all).
+        self.noqa: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.lines, 1):
+            m = _NOQA_RE.search(line)
+            if m:
+                rules = m.group("rules")
+                self.noqa[lineno] = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                ) if rules else frozenset()
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is noqa'd on ``line``."""
+        rules = self.noqa.get(line)
+        if rules is None:
+            return False
+        return not rules or rule.upper() in rules
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``severity``/``description`` and
+    implement :meth:`check`."""
+
+    id: str = ""
+    severity: Severity = "error"
+    description: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: Module, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding of this rule at ``node``'s position."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_RULES: list[Type[Rule]] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if any(r.id == rule_cls.id for r in _RULES):
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _RULES.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> list[Type[Rule]]:
+    """Every registered rule class (imports the built-in rule sets)."""
+    from . import determinism_rules, simkernel_rules, trace_rules  # noqa: F401
+
+    return list(_RULES)
+
+
+def rules_for(select: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Instantiate registered rules, optionally filtered by id."""
+    classes = all_rules()
+    if select is not None:
+        wanted = {s.upper() for s in select}
+        unknown = wanted - {c.id for c in classes}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        classes = [c for c in classes if c.id in wanted]
+    return [c() for c in classes]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)  # unreadable/unparsable
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def worst(self) -> Optional[Severity]:
+        """The gravest severity present, or None."""
+        present = {f.severity for f in self.findings}
+        for sev in reversed(SEVERITIES):
+            if sev in present:
+                return sev
+        return None
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint one source string; noqa suppressions applied."""
+    if rules is None:
+        rules = rules_for()
+    tree = ast.parse(source, filename=path)
+    module = Module(path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(module):
+            if not module.suppressed(f.rule, f.line):
+                findings.append(f)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into .py files (sorted, deduped)."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for c in candidates:
+            c = c.resolve()
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every .py file under ``paths``."""
+    rules = rules_for(select)
+    result = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            result.errors.append(f"{path}: {exc}")
+            continue
+        try:
+            result.findings.extend(lint_source(source, str(path), rules))
+        except SyntaxError as exc:
+            result.errors.append(f"{path}: syntax error: {exc}")
+            continue
+        result.files += 1
+    result.findings.sort()
+    return result

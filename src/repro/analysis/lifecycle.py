@@ -1,0 +1,219 @@
+"""Declarative lifecycle state machines for jobs, workers and proxies.
+
+The instrumented components emit typed ``<entity>.<event>`` trace records
+whose ordering the evaluation pipeline silently assumes (a job cannot run
+before it is grouped; a worker cannot go busy after it stopped).  This
+module makes those transition graphs explicit, in the style of the
+entity state models RADICAL-Pilot uses to validate recorded events
+(Merzky et al., arXiv:1801.01843).  They are the single source of truth:
+
+* :mod:`repro.obs.spans` imports the canonical state tuples from here,
+* :mod:`repro.analysis.schema` derives the legal trace categories from
+  the event names declared here,
+* :mod:`repro.analysis.tracecheck` replays recorded runs against the
+  transition graphs (``jets lint-trace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = [
+    "StateMachine",
+    "JOB_MACHINE",
+    "WORKER_MACHINE",
+    "PROXY_MACHINE",
+    "MACHINES",
+    "JOB_STATES",
+    "WORKER_STATES",
+    "PROXY_STATES",
+]
+
+
+@dataclass(frozen=True)
+class StateMachine:
+    """One entity family's lifecycle.
+
+    Attributes:
+        entity: trace category prefix ("job", "worker", "proxy").
+        states: canonical state names, in lifecycle order.
+        initial: states an entity may be first observed in.
+        transitions: state -> allowed successor states.
+        events: trace event suffix -> state it transitions the entity
+            into (identity for most, e.g. ``start`` -> ``started``).
+        ignored_events: event suffixes that carry no lifecycle state
+            (per-slot chatter, legacy duplicates).
+        id_key: payload key holding the entity id.
+    """
+
+    entity: str
+    states: tuple[str, ...]
+    initial: frozenset[str]
+    transitions: Mapping[str, frozenset[str]]
+    events: Mapping[str, str]
+    ignored_events: frozenset[str] = field(default_factory=frozenset)
+    id_key: str = ""
+
+    def state_for_event(self, event: str) -> Optional[str]:
+        """The state an event suffix maps to (None if ignored/unknown)."""
+        return self.events.get(event)
+
+    def can(self, a: Optional[str], b: str) -> bool:
+        """Whether ``a -> b`` is a legal transition (``a=None``: entry)."""
+        if a is None:
+            return b in self.initial
+        return b in self.transitions.get(a, frozenset())
+
+    def is_terminal(self, state: str) -> bool:
+        """True if no transitions leave ``state``."""
+        return not self.transitions.get(state)
+
+    def validate(self, states: list[str]) -> list[tuple[int, str]]:
+        """Replay a state sequence; returns (index, message) per violation."""
+        problems: list[tuple[int, str]] = []
+        current: Optional[str] = None
+        for i, state in enumerate(states):
+            if state not in self.states:
+                problems.append((i, f"unknown {self.entity} state {state!r}"))
+                continue
+            if not self.can(current, state):
+                origin = current if current is not None else "<entry>"
+                problems.append(
+                    (i, f"illegal {self.entity} transition {origin} -> {state}")
+                )
+            current = state
+        return problems
+
+
+def _graph(**edges: tuple[str, ...]) -> Mapping[str, frozenset[str]]:
+    return {state: frozenset(nxt) for state, nxt in edges.items()}
+
+
+#: Job attempts: queued → grouped → mpiexec_spawned → pmi_wireup →
+#: app_running → done | failed | resubmitted (serial jobs skip the
+#: mpiexec/wireup stages; resubmitted loops back through queued).
+JOB_MACHINE = StateMachine(
+    entity="job",
+    states=(
+        "submitted",
+        "queued",
+        "grouped",
+        "mpiexec_spawned",
+        "pmi_wireup",
+        "app_running",
+        "done",
+        "failed",
+        "resubmitted",
+    ),
+    initial=frozenset({"submitted"}),
+    transitions=_graph(
+        # Oversized jobs fail synchronously at submit.
+        submitted=("queued", "failed"),
+        queued=("grouped",),
+        # Serial jobs jump straight to app_running; either shape can die
+        # at dispatch (worker lost) and be resubmitted.
+        grouped=("mpiexec_spawned", "app_running", "resubmitted"),
+        mpiexec_spawned=("pmi_wireup", "resubmitted"),
+        pmi_wireup=("app_running", "resubmitted"),
+        app_running=("done", "failed", "resubmitted"),
+        # A resubmission either requeues or, once the attempt budget is
+        # exhausted, becomes the permanent failure logged at the same time.
+        resubmitted=("queued", "failed"),
+        done=(),
+        failed=(),
+    ),
+    events={
+        "submitted": "submitted",
+        "queued": "queued",
+        "grouped": "grouped",
+        "mpiexec_spawned": "mpiexec_spawned",
+        "pmi_wireup": "pmi_wireup",
+        "app_running": "app_running",
+        "done": "done",
+        "failed": "failed",
+        "retry": "resubmitted",
+    },
+    # ``job.dispatch`` duplicates the moment ``job.grouped`` records and is
+    # kept for seed compatibility; app_running repeats once per serial slot.
+    ignored_events=frozenset({"dispatch"}),
+    id_key="job",
+)
+
+
+#: Pilot workers: started → registered → idle ⇄ busy → … → stopped | lost.
+#: The tail edges are deliberately permissive: a kill is observed three
+#: times (agent's killed, its stop on unwind, the dispatcher's lost when
+#: the socket drops) and the relative order of the last two depends on
+#: which side notices first.
+WORKER_MACHINE = StateMachine(
+    entity="worker",
+    states=(
+        "started",
+        "registered",
+        "idle",
+        "busy",
+        "heartbeat_missed",
+        "lost",
+        "killed",
+        "stopped",
+    ),
+    initial=frozenset({"started", "registered"}),
+    transitions=_graph(
+        started=("registered", "killed", "stopped"),
+        registered=("idle", "busy", "heartbeat_missed", "killed", "stopped"),
+        idle=("busy", "heartbeat_missed", "killed", "stopped", "lost"),
+        busy=("idle", "heartbeat_missed", "killed", "stopped", "lost"),
+        heartbeat_missed=("lost", "killed", "stopped"),
+        killed=("stopped", "lost"),
+        stopped=("lost",),
+        lost=("killed", "stopped"),
+    ),
+    events={
+        "start": "started",
+        "registered": "registered",
+        "idle": "idle",
+        "busy": "busy",
+        "heartbeat_missed": "heartbeat_missed",
+        "lost": "lost",
+        "killed": "killed",
+        "stop": "stopped",
+    },
+    # Per-slot readiness chatter; worker-level state is carried by the
+    # aggregator's typed idle/busy transitions.
+    ignored_events=frozenset({"ready"}),
+    id_key="worker",
+)
+
+
+#: Hydra proxies: launched → registered → wired → exited (early exits on
+#: wire-up failure are legal from any live state).
+PROXY_MACHINE = StateMachine(
+    entity="proxy",
+    states=("launched", "registered", "wired", "exited"),
+    initial=frozenset({"launched"}),
+    transitions=_graph(
+        launched=("registered", "exited"),
+        registered=("wired", "exited"),
+        wired=("exited",),
+        exited=(),
+    ),
+    events={
+        "launched": "launched",
+        "registered": "registered",
+        "wired": "wired",
+        "exited": "exited",
+    },
+    id_key="proxy",
+)
+
+
+#: All machines, keyed by trace category prefix.
+MACHINES: dict[str, StateMachine] = {
+    m.entity: m for m in (JOB_MACHINE, WORKER_MACHINE, PROXY_MACHINE)
+}
+
+#: Canonical state tuples (re-exported by :mod:`repro.obs.spans`).
+JOB_STATES = JOB_MACHINE.states
+WORKER_STATES = WORKER_MACHINE.states
+PROXY_STATES = PROXY_MACHINE.states

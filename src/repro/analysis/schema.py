@@ -1,0 +1,253 @@
+"""Central trace schema registry: every legal trace category, declared.
+
+Every reported metric in this reproduction is derived from trace records
+(paper Section 6.1.5), so a typo'd category or a missing payload key
+silently drops data from spans, timelines and Eq. (1) utilization.  This
+registry declares the full category vocabulary and the payload keys each
+category must / may carry; the static pass (:mod:`.trace_rules`) checks
+``trace.log(...)`` call sites against it and the runtime validator
+(:mod:`.tracecheck`) checks recorded runs.
+
+Lifecycle categories (``job.*``, ``worker.*``, ``proxy.*``) are *derived*
+from the state machines in :mod:`.lifecycle` so the two views cannot
+drift apart.
+
+Call sites should log through the exported category constants (e.g.
+:data:`WORKER_IDLE`) rather than building category strings dynamically —
+a dynamic category escapes both the registry and the static checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .lifecycle import JOB_MACHINE, PROXY_MACHINE, WORKER_MACHINE
+
+__all__ = [
+    "CategorySpec",
+    "REGISTRY",
+    "PREFIX_FAMILIES",
+    "lookup",
+    "known_category",
+    "payload_problems",
+    # category constants (the ones components log directly)
+    "RUN_ALLOCATION",
+    "ALLOCATION_START",
+    "ALLOCATION_END",
+    "FAULT_KILL",
+    "DISPATCHER_REGISTER",
+    "COASTERS_BLOCK_REQUESTED",
+    "COASTERS_BLOCK_READY",
+    "WORKER_IDLE",
+    "WORKER_BUSY",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "COUNTER_PREFIX",
+]
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Declared schema of one trace category."""
+
+    name: str
+    required: frozenset[str] = field(default_factory=frozenset)
+    optional: frozenset[str] = field(default_factory=frozenset)
+    description: str = ""
+
+    @property
+    def keys(self) -> frozenset[str]:
+        return self.required | self.optional
+
+    def payload_problems(self, data: Any) -> list[str]:
+        """Human-readable schema violations of one payload dict."""
+        if not self.required and data is None:
+            return []
+        if not isinstance(data, dict):
+            return [f"payload must be a dict, got {type(data).__name__}"]
+        problems = [
+            f"missing required key {key!r}"
+            for key in sorted(self.required)
+            if key not in data
+        ]
+        problems.extend(
+            f"unknown key {key!r}"
+            for key in sorted(k for k in data if isinstance(k, str))
+            if key not in self.keys
+        )
+        return problems
+
+
+def _spec(name: str, required=(), optional=(), description: str = "") -> CategorySpec:
+    return CategorySpec(
+        name=name,
+        required=frozenset(required),
+        optional=frozenset(optional),
+        description=description,
+    )
+
+
+# -- category constants --------------------------------------------------------
+
+RUN_ALLOCATION = "run.allocation"
+ALLOCATION_START = "allocation.start"
+ALLOCATION_END = "allocation.end"
+FAULT_KILL = "fault.kill"
+DISPATCHER_REGISTER = "dispatcher.register"
+COASTERS_BLOCK_REQUESTED = "coasters.block_requested"
+COASTERS_BLOCK_READY = "coasters.block_ready"
+WORKER_IDLE = "worker.idle"
+WORKER_BUSY = "worker.busy"
+JOB_DONE = "job.done"
+JOB_FAILED = "job.failed"
+
+#: Dynamic family for instrument mirroring (``counter.<name>``); the one
+#: sanctioned dynamic-category funnel, validated at Counter.connect time.
+COUNTER_PREFIX = "counter."
+
+# -- lifecycle-derived payload schemas ----------------------------------------
+
+#: Extra payload keys individual lifecycle events carry beyond the
+#: machine's id key: event suffix -> (required, optional).
+_JOB_EVENT_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "submitted": (("mpi", "nodes", "ppn"), ()),
+    "queued": (("attempt",), ()),
+    "grouped": (("attempt", "workers"), ()),
+    "dispatch": (("nodes",), ("attempt", "worker", "workers", "node_ids")),
+    "mpiexec_spawned": (("attempt",), ()),
+    "pmi_wireup": ((), ()),
+    "app_running": ((), ("worker", "serial")),
+    "retry": (("attempt", "error"), ()),
+    "done": (
+        ("attempt", "nodes", "ppn", "duration_hint", "nominal"),
+        ("error", "app_start", "app_end"),
+    ),
+    "failed": (
+        ("attempt", "nodes", "ppn", "duration_hint", "nominal"),
+        ("error", "app_start", "app_end"),
+    ),
+}
+
+_WORKER_EVENT_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "start": (("node",), ()),
+    "registered": (("node",), ()),
+    "ready": ((), ()),
+    "idle": ((), ()),
+    "busy": ((), ()),
+    "heartbeat_missed": (("last_seen",), ()),
+    "lost": (("reason",), ()),
+    "killed": (("cause",), ()),
+    "stop": ((), ()),
+}
+
+_PROXY_EVENT_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "launched": (("job", "worker", "node"), ()),
+    "registered": (("job",), ("node",)),
+    "wired": (("job",), ()),
+    "exited": (("job", "status"), ()),
+}
+
+
+def _lifecycle_specs() -> list[CategorySpec]:
+    specs: list[CategorySpec] = []
+    for machine, event_keys in (
+        (JOB_MACHINE, _JOB_EVENT_KEYS),
+        (WORKER_MACHINE, _WORKER_EVENT_KEYS),
+        (PROXY_MACHINE, _PROXY_EVENT_KEYS),
+    ):
+        events = set(machine.events) | set(machine.ignored_events)
+        for event in sorted(events):
+            required, optional = event_keys.get(event, ((), ()))
+            specs.append(
+                _spec(
+                    f"{machine.entity}.{event}",
+                    required=(machine.id_key, *required),
+                    optional=optional,
+                    description=(
+                        f"{machine.entity} lifecycle event "
+                        f"({machine.events.get(event, 'no state change')})"
+                    ),
+                )
+            )
+    return specs
+
+
+# -- non-lifecycle categories --------------------------------------------------
+
+_STATIC_SPECS = [
+    _spec(
+        RUN_ALLOCATION,
+        required=("machine", "nodes"),
+        optional=("cores_per_node", "slots", "walltime", "blocks", "spectrum"),
+        description="run metadata logged once the allocation is up",
+    ),
+    _spec(
+        ALLOCATION_START,
+        required=("nodes", "walltime"),
+        description="batch scheduler granted an allocation",
+    ),
+    _spec(
+        ALLOCATION_END,
+        required=("nodes", "reason"),
+        description="allocation released or expired",
+    ),
+    _spec(
+        FAULT_KILL,
+        required=("worker",),
+        description="fault injector killed a pilot",
+    ),
+    _spec(
+        DISPATCHER_REGISTER,
+        required=("worker", "node"),
+        description="dispatcher-side registration bookkeeping",
+    ),
+    _spec(
+        COASTERS_BLOCK_REQUESTED,
+        required=("size",),
+        description="Coasters block provisioning requested",
+    ),
+    _spec(
+        COASTERS_BLOCK_READY,
+        required=("size",),
+        description="Coasters block came up",
+    ),
+]
+
+#: name -> spec for every exactly-named category.
+REGISTRY: dict[str, CategorySpec] = {
+    spec.name: spec for spec in (*_lifecycle_specs(), *_STATIC_SPECS)
+}
+
+#: Dynamic prefix families: prefix -> spec template applied to members.
+PREFIX_FAMILIES: dict[str, CategorySpec] = {
+    COUNTER_PREFIX: _spec(
+        COUNTER_PREFIX + "*",
+        required=("counter", "value"),
+        description="traced Counter increments (one member per counter)",
+    ),
+}
+
+
+def lookup(category: str) -> Optional[CategorySpec]:
+    """The spec for ``category``, via exact name or prefix family."""
+    spec = REGISTRY.get(category)
+    if spec is not None:
+        return spec
+    for prefix, family in PREFIX_FAMILIES.items():
+        if category.startswith(prefix) and len(category) > len(prefix):
+            return family
+    return None
+
+
+def known_category(category: str) -> bool:
+    """Whether ``category`` is declared (exactly or via a family)."""
+    return lookup(category) is not None
+
+
+def payload_problems(category: str, data: Any) -> list[str]:
+    """Schema violations of one record; unknown categories yield one."""
+    spec = lookup(category)
+    if spec is None:
+        return [f"unknown trace category {category!r}"]
+    return spec.payload_problems(data)

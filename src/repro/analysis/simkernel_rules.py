@@ -1,0 +1,215 @@
+"""Static checks for misuse of the DES kernel.
+
+Rules:
+
+* **SK001** — a plain (non-generator) function result passed to
+  ``env.process(...)``: the kernel requires a generator; a plain call
+  runs eagerly at schedule time and ``Process`` raises at runtime.
+  Detected when the called function is defined in the same module and
+  contains no ``yield``.
+* **SK002** — ``env.run(...)`` re-entered from inside a generator
+  (process) function: the scheduler is not reentrant; a process must
+  ``yield`` events instead of driving the loop.
+* **SK003** — an event triggered twice (``succeed``/``fail``) on the
+  same name in one straight-line block: the second call raises
+  ``SimulationError`` at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from .framework import Finding, Module, Rule, register
+
+__all__ = ["NonGeneratorProcess", "RunInsideProcess", "DoubleTrigger"]
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_generator(func: _FuncDef) -> bool:
+    """Whether a function definition contains yield / yield from."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            # Nested defs have their own generator-ness; skip them.
+            if _owner(func, node) is func:
+                return True
+    return False
+
+
+def _owner(root: _FuncDef, target: ast.AST) -> ast.AST:
+    """The innermost function definition containing ``target``."""
+    owner: ast.AST = root
+
+    class Finder(ast.NodeVisitor):
+        def __init__(self):
+            self.stack: list[ast.AST] = [root]
+            self.found: ast.AST = root
+
+        def generic_visit(self, node: ast.AST) -> None:
+            if node is target:
+                self.found = self.stack[-1]
+                return
+            is_def = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) and node is not root
+            if is_def:
+                self.stack.append(node)
+            super().generic_visit(node)
+            if is_def:
+                self.stack.pop()
+
+    finder = Finder()
+    finder.visit(root)
+    return finder.found
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _env_receiver(chain: str) -> bool:
+    """Heuristic: does an attribute chain name a simulation environment?"""
+    last = chain.split(".")[-1] if chain else ""
+    return last.lstrip("_") in ("env", "environment")
+
+
+def _module_functions(module: Module) -> dict[str, list[_FuncDef]]:
+    """name -> definitions (module level and methods, all scopes)."""
+    defs: dict[str, list[_FuncDef]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, []).append(node)
+    return defs
+
+
+@register
+class NonGeneratorProcess(Rule):
+    id = "SK001"
+    severity = "error"
+    description = "non-generator function passed to env.process()"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        defs = _module_functions(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "process"):
+                continue
+            if not _env_receiver(_dotted(func.value)):
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Call):
+                continue
+            name = _dotted(arg.func).split(".")[-1]
+            candidates = defs.get(name)
+            if not candidates:
+                continue  # defined elsewhere — can't tell statically
+            if all(not _is_generator(d) for d in candidates):
+                yield self.finding(
+                    module,
+                    arg,
+                    f"{name}() is not a generator; env.process() needs a "
+                    "generator that yields events",
+                )
+
+
+@register
+class RunInsideProcess(Rule):
+    id = "SK002"
+    severity = "error"
+    description = "env.run() re-entered from inside a process"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                call_func = node.func
+                if not (
+                    isinstance(call_func, ast.Attribute)
+                    and call_func.attr in ("run", "step")
+                ):
+                    continue
+                if not _env_receiver(_dotted(call_func.value)):
+                    continue
+                if _owner(func, node) is not func:
+                    continue  # belongs to a nested non-generator helper
+                yield self.finding(
+                    module,
+                    node,
+                    f"env.{call_func.attr}() inside generator "
+                    f"{func.name!r} re-enters the scheduler; yield the "
+                    "event instead",
+                )
+
+
+@register
+class DoubleTrigger(Rule):
+    id = "SK003"
+    severity = "error"
+    description = "event triggered twice in one straight-line block"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            body = getattr(node, "body", None)
+            if not isinstance(body, list):
+                continue
+            for block in self._blocks(node):
+                yield from self._check_block(module, block)
+
+    def _blocks(self, node: ast.AST) -> Iterator[list[ast.stmt]]:
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                yield block
+
+    def _check_block(
+        self, module: Module, block: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        triggered: dict[str, int] = {}
+        for stmt in block:
+            # A rebind of the name starts a fresh event.
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    triggered.pop(_dotted(target), None)
+            if not isinstance(stmt, ast.Expr) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            call = stmt.value
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("succeed", "fail")
+            ):
+                continue
+            receiver = _dotted(func.value)
+            if not receiver:
+                continue
+            if receiver in triggered:
+                yield self.finding(
+                    module,
+                    call,
+                    f"{receiver} was already triggered on line "
+                    f"{triggered[receiver]}; a second succeed()/fail() "
+                    "raises SimulationError",
+                )
+            else:
+                triggered[receiver] = stmt.lineno

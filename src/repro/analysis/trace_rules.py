@@ -1,0 +1,194 @@
+"""Static checks of ``trace.log(...)`` call sites against the registry.
+
+Rules:
+
+* **TR001** — unknown trace category (typo or undeclared).
+* **TR002** — payload dict is missing a key the category requires.
+* **TR003** — payload dict carries a key the category does not declare.
+* **TR004** — dynamic category expression (f-string, variable, ``%``/
+  ``+`` formatting) that can escape the registry.  A conditional between
+  two literal categories (``"job.done" if ok else "job.failed"``) is
+  allowed — each branch is checked instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from . import schema
+from .framework import Finding, Module, Rule, register
+
+__all__ = [
+    "UnknownCategory",
+    "MissingPayloadKey",
+    "UnknownPayloadKey",
+    "DynamicCategory",
+    "trace_log_calls",
+]
+
+
+def _receiver_chain(node: ast.expr) -> list[str]:
+    """Dotted name parts of an attribute chain (empty if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def trace_log_calls(module: Module) -> Iterator[ast.Call]:
+    """Every ``<...>.trace.log(...)`` / ``trace.log(...)`` call in a module."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "log"):
+            continue
+        chain = _receiver_chain(func.value)
+        if chain and chain[-1].lstrip("_").endswith("trace"):
+            yield node
+
+
+def _literal_categories(node: ast.expr) -> Optional[list[tuple[ast.expr, str]]]:
+    """Resolve a category expression to literal strings, or None if dynamic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node, node.value)]
+    if isinstance(node, ast.IfExp):
+        body = _literal_categories(node.body)
+        orelse = _literal_categories(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+def _payload_dict(call: ast.Call) -> Optional[ast.Dict]:
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Dict):
+        return call.args[1]
+    return None
+
+
+def _literal_keys(payload: ast.Dict) -> Optional[list[str]]:
+    """All payload keys if they are string literals (None on **spread)."""
+    keys: list[str] = []
+    for key in payload.keys:
+        if key is None:  # **expansion — unknowable statically
+            return None
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return keys
+
+
+@register
+class UnknownCategory(Rule):
+    id = "TR001"
+    severity = "error"
+    description = "trace category is not declared in the schema registry"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in trace_log_calls(module):
+            if not call.args:
+                continue
+            literals = _literal_categories(call.args[0])
+            if literals is None:
+                continue  # TR004's business
+            for node, category in literals:
+                if not schema.known_category(category):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unknown trace category {category!r} "
+                        "(declare it in repro.analysis.schema)",
+                    )
+
+
+@register
+class MissingPayloadKey(Rule):
+    id = "TR002"
+    severity = "error"
+    description = "trace payload is missing a required key"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in trace_log_calls(module):
+            yield from _payload_key_findings(self, module, call, missing=True)
+
+
+@register
+class UnknownPayloadKey(Rule):
+    id = "TR003"
+    severity = "warning"
+    description = "trace payload carries an undeclared key"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in trace_log_calls(module):
+            yield from _payload_key_findings(self, module, call, missing=False)
+
+
+def _payload_key_findings(
+    rule: Rule, module: Module, call: ast.Call, missing: bool
+) -> Iterator[Finding]:
+    if not call.args:
+        return
+    literals = _literal_categories(call.args[0])
+    if literals is None:
+        return  # dynamic category — TR004's business
+    specs = [schema.lookup(c) for _, c in literals]
+    if any(s is None for s in specs):
+        return  # unknown category — TR001 already fired
+    # Branched categories (done/failed) are checkable when every branch
+    # declares the same key set.
+    if len({(s.required, s.optional) for s in specs}) != 1:
+        return
+    spec = specs[0]
+    payload = _payload_dict(call)
+    if payload is None:
+        if missing and spec.required and len(call.args) < 2:
+            yield rule.finding(
+                module,
+                call,
+                f"category {spec.name!r} requires payload keys "
+                f"{sorted(spec.required)} but no payload is passed",
+            )
+        return
+    keys = _literal_keys(payload)
+    if keys is None:
+        return
+    if missing:
+        for key in sorted(spec.required - set(keys)):
+            yield rule.finding(
+                module,
+                payload,
+                f"payload for {spec.name!r} is missing required key {key!r}",
+            )
+    else:
+        for key in keys:
+            if key not in spec.keys:
+                yield rule.finding(
+                    module,
+                    payload,
+                    f"payload for {spec.name!r} carries undeclared key "
+                    f"{key!r}",
+                )
+
+
+@register
+class DynamicCategory(Rule):
+    id = "TR004"
+    severity = "error"
+    description = "dynamic trace category escapes the schema registry"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call in trace_log_calls(module):
+            if not call.args:
+                continue
+            if _literal_categories(call.args[0]) is None:
+                yield self.finding(
+                    module,
+                    call.args[0],
+                    "trace category is built dynamically; log through a "
+                    "registry constant from repro.analysis.schema instead",
+                )

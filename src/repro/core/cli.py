@@ -9,6 +9,8 @@ Usage::
          [--trace-out RUN.jsonl] [--chrome-trace RUN.trace.json]
          [--report] TASKFILE
     jets report RUN.jsonl
+    jets lint [PATH ...]
+    jets lint-trace RUN.jsonl
 
 ``TASKFILE`` uses the paper's input format, e.g.::
 
@@ -21,7 +23,10 @@ report (completion counts, Eq. 1 utilization, task rate, wire-up times).
 ``--trace-out`` dumps the lifecycle trace as JSONL (and a Chrome
 ``trace_event`` file alongside, openable in Perfetto); ``--report``
 prints the observability run summary; ``jets report`` re-renders that
-summary from a saved JSONL dump.
+summary from a saved JSONL dump.  ``jets lint`` runs the static
+invariant checkers (:mod:`repro.analysis`) over Python sources and
+``jets lint-trace`` validates a recorded run against the trace schema
+registry and lifecycle state machines.
 """
 
 from __future__ import annotations
@@ -140,6 +145,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        from ..analysis.cli import lint_main
+
+        return lint_main(list(argv[1:]))
+    if argv and argv[0] == "lint-trace":
+        from ..analysis.cli import lint_trace_main
+
+        return lint_trace_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     for path in (args.trace_out, args.chrome_trace):
         reason = unwritable_reason(path)

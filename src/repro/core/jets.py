@@ -162,6 +162,7 @@ class Simulation:
                     "machine": self.machine.name,
                     "nodes": nodes,
                     "cores_per_node": self.machine.cores_per_node,
+                    "slots": self._effective_slots(),
                     "walltime": self.config.walltime,
                 },
             )
@@ -207,6 +208,11 @@ class Simulation:
 
     # -- internals ---------------------------------------------------------------
 
+    def _effective_slots(self) -> int:
+        """Serial-task slots each pilot actually advertises (see
+        :class:`~repro.core.worker.WorkerAgent`: ``None`` means node cores)."""
+        return self.config.worker_slots or self.machine.cores_per_node
+
     def _build_staging(
         self, env: Environment, tasks: TaskList
     ) -> Optional[StagingManager]:
@@ -232,6 +238,7 @@ class Simulation:
         wireups: list[float] = []
         completed = [c for c in dispatcher.completed if c.ok]
         failed = [c for c in dispatcher.completed if not c.ok]
+        slots = self._effective_slots()
         for c in completed:
             # Eq. (1) uses the *nominal* task duration.  Programs whose
             # nominal time depends on the process count (NAMD) expose
@@ -241,9 +248,14 @@ class Simulation:
                 duration = prog.wall_time(c.job.world_size)
             else:
                 duration = c.job.duration_hint
+            # MPI jobs claim whole nodes; a serial job claims one of the
+            # worker's ``slots`` slots, so it is charged that node share —
+            # otherwise cores_per_node concurrent serial tasks per node
+            # would push Eq. (1) past 1.
+            n = float(c.job.nodes) if c.job.mpi else 1.0 / slots
             ledger.add(
                 duration=duration,
-                n=c.job.nodes,
+                n=n,
                 t_start=c.t_dispatched,
                 t_end=c.t_done,
             )

@@ -107,6 +107,12 @@ class WorkerAgent:
             self._sock = yield from self.platform.network.connect(
                 self.node.endpoint, self.dispatcher_endpoint, self.service
             )
+            # Log *before* the register/ready sends: those cross the
+            # simulated network, so the dispatcher-side ``registered``
+            # record could otherwise precede this agent-side ``start``.
+            self.platform.trace.log(
+                "worker.start", {"worker": self.worker_id, "node": self.node.node_id}
+            )
             yield self._sock.send(
                 ("register", self.worker_id, self.node.node_id, self.slots),
                 256,
@@ -115,9 +121,6 @@ class WorkerAgent:
                 yield self._sock.send(("ready", self.worker_id), 64)
             if self.heartbeat_interval > 0:
                 hb = self.env.process(self._heartbeat(), name="hb")
-            self.platform.trace.log(
-                "worker.start", {"worker": self.worker_id, "node": self.node.node_id}
-            )
             while True:
                 msg = yield self._sock.recv()
                 kind = msg.payload[0]

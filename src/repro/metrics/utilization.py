@@ -20,7 +20,7 @@ __all__ = ["equation1", "UtilizationLedger"]
 
 
 def equation1(
-    duration: float, jobs: int, n: int, allocation_size: int, time: float
+    duration: float, jobs: int, n: float, allocation_size: int, time: float
 ) -> float:
     """The paper's Eq. (1); returns 0 for an empty/zero-length run."""
     if allocation_size <= 0:
@@ -33,7 +33,9 @@ def equation1(
 @dataclass
 class _Entry:
     duration: float
-    n: int
+    #: Nodes charged per job — fractional for serial (Falkon-style) tasks,
+    #: which occupy one slot of a ``cores_per_node``-slot node.
+    n: float
     t_start: float
     t_end: float
 
@@ -62,9 +64,16 @@ class UtilizationLedger:
         avoid a package cycle).  Each completed job contributes its
         nominal duration (stamped on the ``job.done`` record) over
         first-dispatch → completion, exactly like the stand-alone
-        report's live ledger.
+        report's live ledger.  Serial jobs are charged the core-share
+        they actually occupy (``1 / cores_per_node``) rather than a
+        whole node, so Eq. (1) stays bounded by 1 even when
+        ``cores_per_node`` serial tasks run concurrently per node.
         """
         ledger = cls(allocation_size)
+        cores = (
+            getattr(spans, "worker_slots", None)
+            or getattr(spans, "cores_per_node", None)
+        )
         for job in spans.job_list():
             if not job.ok or job.t_end is None:
                 continue
@@ -76,9 +85,14 @@ class UtilizationLedger:
             )
             if t_start is None:
                 continue
+            if job.mpi:
+                n = float(job.nodes)
+            else:
+                # Full node only when the slot count is unrecorded.
+                n = 1.0 / cores if cores else float(job.nodes)
             ledger.add(
                 duration=job.nominal or 0.0,
-                n=job.nodes,
+                n=n,
                 t_start=t_start,
                 t_end=job.t_end,
             )
@@ -87,11 +101,11 @@ class UtilizationLedger:
     def add(
         self,
         duration: float,
-        n: int,
+        n: float,
         t_start: float,
         t_end: float,
     ) -> None:
-        """Record one completed job (nominal duration, node count, span)."""
+        """Record one completed job (nominal duration, nodes charged, span)."""
         if t_end < t_start:
             raise ValueError("job ends before it starts")
         self._entries.append(_Entry(duration, n, t_start, t_end))

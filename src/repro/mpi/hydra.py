@@ -352,6 +352,14 @@ class MpiexecController:
         for sock in self._sockets.values():
             sock.close()
         self._listener.close()
+        # Close the lifecycle of proxies that died without reporting
+        # (worker kill, lost connection, abort): 143 = SIGTERM-style.
+        for pid in self._sockets:
+            if pid not in exited:
+                self.platform.trace.log(
+                    "proxy.exited",
+                    {"job": self.job_id, "proxy": pid, "status": 143},
+                )
 
         result = JobResult(
             job_id=self.job_id,

@@ -19,6 +19,11 @@ mirror the start/stop instrumentation the paper's evaluation is built on
 The builder is a single pass over the records, so it works equally on a
 live :class:`~repro.simkernel.Trace` and on records re-read from a JSONL
 export (:func:`repro.obs.export.read_jsonl`).
+
+The state vocabularies and transition graphs are declared once in
+:mod:`repro.analysis.lifecycle` (this module re-exports the state
+tuples); ``jets lint-trace`` replays recorded runs against those same
+machines, so the span builder and the validator cannot drift apart.
 """
 
 from __future__ import annotations
@@ -26,6 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Union
 
+from ..analysis.lifecycle import (
+    JOB_STATES,
+    PROXY_STATES,
+    WORKER_STATES,
+)
 from ..simkernel import Trace, TraceRecord
 
 __all__ = [
@@ -40,34 +50,6 @@ __all__ = [
     "RunSpans",
     "build_spans",
 ]
-
-#: Job lifecycle states, in canonical order.
-JOB_STATES = (
-    "submitted",
-    "queued",
-    "grouped",
-    "mpiexec_spawned",
-    "pmi_wireup",
-    "app_running",
-    "done",
-    "failed",
-    "resubmitted",
-)
-
-#: Worker lifecycle states.
-WORKER_STATES = (
-    "started",
-    "registered",
-    "idle",
-    "busy",
-    "heartbeat_missed",
-    "lost",
-    "killed",
-    "stopped",
-)
-
-#: Proxy (per-node rank group) lifecycle states.
-PROXY_STATES = ("launched", "registered", "wired", "exited")
 
 
 @dataclass(frozen=True)
@@ -258,6 +240,9 @@ class RunSpans:
     faults: list[float] = field(default_factory=list)
     #: Run metadata from the ``run.allocation`` record, when present.
     allocation_nodes: Optional[int] = None
+    cores_per_node: Optional[int] = None
+    #: Serial-task slots each pilot advertised (for core-share accounting).
+    worker_slots: Optional[int] = None
     machine: str = ""
     t_first: Optional[float] = None
     t_last: Optional[float] = None
@@ -314,6 +299,8 @@ def build_spans(
             run.faults.append(rec.time)
         elif cat == "run.allocation":
             run.allocation_nodes = data.get("nodes")
+            run.cores_per_node = data.get("cores_per_node")
+            run.worker_slots = data.get("slots")
             run.machine = data.get("machine", "")
     return run
 

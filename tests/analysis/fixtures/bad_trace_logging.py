@@ -1,0 +1,57 @@
+"""Lint fixture: seeded trace-schema violations (TR001-TR004).
+
+Loaded as *text* by the analysis tests — never imported.  Each violation
+line carries a ``MARK:`` comment the tests use to locate it, so the
+assertions survive edits to this file.
+"""
+
+
+class Thing:
+    def __init__(self, trace):
+        self.trace = trace
+
+    def ok(self):
+        self.trace.log("job.queued", {"job": "job0", "attempt": 1})
+
+    def typo_category(self):
+        self.trace.log("job.qeued", {"job": "job0"})  # MARK: TR001
+
+    def missing_key(self):
+        self.trace.log("fault.kill", {})  # MARK: TR002
+
+    def no_payload_at_all(self):
+        self.trace.log("fault.kill")  # MARK: TR002-nopayload
+
+    def extra_key(self):
+        self.trace.log(
+            "job.queued", {"job": "j", "attempt": 1, "vibe": 1}  # MARK: TR003
+        )
+
+    def dynamic(self, state):
+        self.trace.log(f"worker.{state}", {"worker": 1})  # MARK: TR004
+
+    def concatenated(self, state):
+        self.trace.log("worker." + state, {"worker": 1})  # MARK: TR004-concat
+
+    def branched_ok(self, ok):
+        # A conditional between two literal categories is fine.
+        self.trace.log(
+            "job.done" if ok else "job.failed",
+            {
+                "job": "j",
+                "attempt": 1,
+                "nodes": 1,
+                "ppn": 1,
+                "duration_hint": 0.0,
+                "nominal": 0.0,
+            },
+        )
+
+    def suppressed(self, state):
+        self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa[TR004]
+
+    def suppressed_bare(self, state):
+        self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa
+
+    def wrong_rule_suppressed(self, state):
+        self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa[TR001]  # MARK: TR004-wrongnoqa

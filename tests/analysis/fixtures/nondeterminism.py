@@ -1,0 +1,50 @@
+"""Lint fixture: seeded determinism violations (DT001-DT004).
+
+Loaded as text by the analysis tests — never imported.
+"""
+
+import datetime
+import random
+import time
+from datetime import datetime as dt
+from random import random as rnd
+from time import monotonic
+
+import numpy as np
+
+
+def wall_clock():
+    a = time.time()  # MARK: DT001
+    b = monotonic()  # MARK: DT001-imported
+    c = datetime.datetime.now()  # MARK: DT001-datetime
+    d = dt.utcnow()  # MARK: DT001-aliased
+    return a, b, c, d
+
+
+def global_random():
+    x = random.random()  # MARK: DT002
+    y = rnd()  # MARK: DT002-imported
+    return x, y
+
+
+def numpy_random():
+    rng = np.random.default_rng()  # MARK: DT003
+    good = np.random.default_rng(42)  # seeded: fine
+    z = np.random.rand(3)  # MARK: DT003-global
+    return rng, good, z
+
+
+def set_order(items):
+    for x in {1, 2, 3}:  # MARK: DT004
+        print(x)
+    ys = [y for y in set(items)]  # MARK: DT004-comprehension
+    return ys
+
+
+def suppressed():
+    return time.time()  # repro: noqa[DT001]
+
+
+def fine(clock):
+    # Simulated time through the kernel is the sanctioned clock.
+    return clock.now

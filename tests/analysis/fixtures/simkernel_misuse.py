@@ -1,0 +1,41 @@
+"""Lint fixture: seeded simulation-kernel misuse (SK001-SK003).
+
+Loaded as text by the analysis tests — never imported.
+"""
+
+
+def not_a_generator(env):
+    env.timeout(1.0)
+
+
+def proper_process(env):
+    yield env.timeout(1.0)
+
+
+def spawn(env):
+    env.process(not_a_generator(env))  # MARK: SK001
+    env.process(proper_process(env))  # fine
+
+
+def reentrant(env):
+    yield env.timeout(1.0)
+    env.run()  # MARK: SK002
+    yield env.timeout(1.0)
+
+
+def stepper(env):
+    yield env.timeout(0.5)
+    env.step()  # MARK: SK002-step
+
+
+def double_fire(env):
+    ev = env.event()
+    ev.succeed(1)
+    ev.succeed(2)  # MARK: SK003
+    ev2 = env.event()
+    ev2.succeed()
+    ev2 = env.event()  # rebound: the next succeed is a fresh event
+    ev2.succeed()
+    ev3 = env.event()
+    ev3.succeed()
+    ev3.fail(RuntimeError("boom"))  # MARK: SK003-fail

@@ -1,0 +1,110 @@
+"""Exit-code contract of ``jets lint`` / ``jets lint-trace``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import lint_main, lint_trace_main
+from repro.apps.synthetic import BarrierSleepBarrier
+from repro.cluster.machine import generic_cluster
+from repro.core.jets import Simulation
+from repro.core.tasklist import JobSpec, TaskList
+from repro.obs import session as obs_session
+
+CLEAN = "x = 1\n"
+DIRTY = "import time\n\ndef f():\n    return time.time()\n"
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        assert lint_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        assert lint_main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:4:12: DT001" in out
+
+    def test_min_severity_gates_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "warn.py"
+        path.write_text("for x in {1, 2}:\n    print(x)\n")
+        assert lint_main([str(path)]) == 1  # DT004 is a warning
+        assert lint_main([str(path), "--min-severity", "error"]) == 0
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        assert lint_main([str(path)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        assert lint_main([str(path), "--select", "NOPE1"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("TR001", "TR004", "DT001", "SK001"):
+            assert rule_id in out
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """A real recorded run (JSONL) from a tiny MPI batch."""
+    path = tmp_path_factory.mktemp("traces") / "run.jsonl"
+    jobs = [JobSpec(program=BarrierSleepBarrier(0.2), nodes=2, ppn=1)]
+    with obs_session(trace_out=str(path)):
+        sim = Simulation(generic_cluster(nodes=2, cores_per_node=2), seed=0)
+        report = sim.run_standalone(TaskList(jobs))
+        assert report.jobs_completed == 1
+    return path
+
+
+class TestLintTrace:
+    def test_real_run_is_valid(self, trace_file, capsys):
+        assert lint_trace_main([str(trace_file)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_corrupted_run_exits_one(self, trace_file, tmp_path, capsys):
+        corrupted = tmp_path / "corrupted.jsonl"
+        lines = trace_file.read_text().splitlines()
+        kept = [l for l in lines if json.loads(l)["cat"] != "job.grouped"]
+        assert len(kept) < len(lines)
+        corrupted.write_text("\n".join(kept) + "\n")
+        assert lint_trace_main([str(corrupted)]) == 1
+        assert "TV004" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert lint_trace_main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_empty_file_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert lint_trace_main([str(empty)]) == 2
+
+    def test_max_issues_truncates(self, trace_file, tmp_path, capsys):
+        corrupted = tmp_path / "very_corrupted.jsonl"
+        lines = trace_file.read_text().splitlines()
+        kept = [
+            l for l in lines
+            if json.loads(l)["cat"] not in ("job.grouped", "worker.start")
+        ]
+        corrupted.write_text("\n".join(kept) + "\n")
+        assert lint_trace_main([str(corrupted), "--max-issues", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "more issues" in out
+
+
+def test_jets_cli_dispatches_lint(tmp_path, capsys):
+    from repro.core.cli import main
+
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert main(["lint", str(path)]) == 0

@@ -1,0 +1,70 @@
+"""The declarative state machines and their schema/spans integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import schema
+from repro.analysis.lifecycle import (
+    JOB_MACHINE,
+    MACHINES,
+    PROXY_MACHINE,
+    WORKER_MACHINE,
+)
+
+
+class TestMachineConsistency:
+    @pytest.mark.parametrize("machine", MACHINES.values(), ids=lambda m: m.entity)
+    def test_graph_is_well_formed(self, machine):
+        """Every named state exists; transitions reference real states."""
+        states = set(machine.states)
+        assert machine.initial <= states
+        for src, dests in machine.transitions.items():
+            assert src in states
+            assert set(dests) <= states
+        for state in machine.events.values():
+            assert state in states
+
+    def test_job_happy_path(self):
+        path = [
+            "submitted", "queued", "grouped", "mpiexec_spawned",
+            "pmi_wireup", "app_running", "done",
+        ]
+        for a, b in zip(path, path[1:]):
+            assert JOB_MACHINE.can(a, b), (a, b)
+        assert JOB_MACHINE.is_terminal("done")
+        assert JOB_MACHINE.is_terminal("failed")
+
+    def test_job_rejects_skipping_grouping(self):
+        assert not JOB_MACHINE.can("queued", "mpiexec_spawned")
+        assert not JOB_MACHINE.can("queued", "done")
+
+    def test_worker_idle_busy_cycle(self):
+        assert WORKER_MACHINE.can("idle", "busy")
+        assert WORKER_MACHINE.can("busy", "idle")
+        assert not WORKER_MACHINE.can("stopped", "busy")
+
+    def test_proxy_is_linear(self):
+        assert PROXY_MACHINE.can("launched", "registered")
+        assert PROXY_MACHINE.can("registered", "wired")
+        assert not PROXY_MACHINE.can("wired", "registered")
+
+
+class TestSchemaDerivation:
+    @pytest.mark.parametrize("machine", MACHINES.values(), ids=lambda m: m.entity)
+    def test_every_machine_event_has_a_category_spec(self, machine):
+        for event in machine.events:
+            category = f"{machine.entity}.{event}"
+            assert schema.known_category(category), category
+
+    def test_spans_reexports_machine_states(self):
+        from repro.obs import spans
+
+        assert spans.JOB_STATES == JOB_MACHINE.states
+        assert spans.WORKER_STATES == WORKER_MACHINE.states
+        assert spans.PROXY_STATES == PROXY_MACHINE.states
+
+    def test_prefix_family_requires_keys(self):
+        spec = schema.lookup("counter.anything")
+        assert spec is not None
+        assert {"counter", "value"} <= set(spec.required)

@@ -1,0 +1,57 @@
+"""Byte-level determinism regression: same seed → identical trace dump.
+
+The kernel's contract ("two runs with the same seed produce identical
+traces") is asserted elsewhere on derived metrics; this pins it at the
+strongest level — the exported JSONL files are byte-identical — using the
+Fig. 6 sequential-task experiment as the driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+import repro.core.tasklist as tasklist
+import repro.core.worker as worker
+from repro.experiments import fig06_sequential
+from repro.obs import session as obs_session
+
+
+def _reset_id_counters():
+    """Fresh module-global id streams, as in a new interpreter.
+
+    Worker and job ids come from ``itertools.count()`` module globals, so
+    a second run in one process would otherwise start numbering where the
+    first stopped and trivially differ.
+    """
+    worker._worker_seq = itertools.count()
+    tasklist._spec_seq = itertools.count()
+
+
+def _run_once(path):
+    _reset_id_counters()
+    with obs_session(trace_out=str(path)):
+        rows = fig06_sequential.run(node_sizes=(4,), tasks_per_node=2, seed=7)
+    assert rows[0]["completed"] == 8
+    return path.read_bytes()
+
+
+def test_fig06_trace_is_byte_identical_across_runs(tmp_path):
+    first = _run_once(tmp_path / "a.jsonl")
+    second = _run_once(tmp_path / "b.jsonl")
+    assert first == second
+    assert first  # non-empty: the dump actually captured the run
+
+
+def test_different_seeds_differ(tmp_path):
+    """Sanity for the test itself: the dump is seed-sensitive."""
+    _reset_id_counters()
+    with obs_session(trace_out=str(tmp_path / "a.jsonl")):
+        fig06_sequential.run(node_sizes=(4,), tasks_per_node=2, seed=7)
+    _reset_id_counters()
+    with obs_session(trace_out=str(tmp_path / "b.jsonl")):
+        fig06_sequential.run(node_sizes=(4,), tasks_per_node=2, seed=8)
+    a = (tmp_path / "a.jsonl").read_bytes()
+    b = (tmp_path / "b.jsonl").read_bytes()
+    assert a != b
