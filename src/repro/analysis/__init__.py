@@ -13,7 +13,12 @@ every metric is derived from well-formed trace records (paper Section
   ``# repro: noqa[RULE]`` suppressions.
 * :mod:`.trace_rules`, :mod:`.determinism_rules`,
   :mod:`.simkernel_rules` — the repo-specific rule sets (TR*, DT*, SK*).
+* :mod:`.protocol` — the declarative wire-protocol registry (message
+  kinds, payload shapes, sizes, per-channel session machines).
+* :mod:`.protocol_rules` — static conformance rules over send/handle
+  sites (PR*).
 * :mod:`.tracecheck` — runtime validation of recorded runs (TV*).
+* :mod:`.explore` — bounded schedule exploration (``jets explore``).
 * :mod:`.cli` — the ``jets lint`` / ``jets lint-trace`` subcommands.
 """
 
@@ -21,6 +26,7 @@ from .framework import (
     Finding,
     LintResult,
     Module,
+    ProjectRule,
     Rule,
     all_rules,
     lint_paths,
@@ -46,6 +52,7 @@ __all__ = [
     "MACHINES",
     "Module",
     "PROXY_MACHINE",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "StateMachine",

@@ -20,6 +20,7 @@ __all__ = [
     "Finding",
     "Module",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "rules_for",
@@ -106,6 +107,23 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole lint set at once.
+
+    Per-module rules can't see that a message kind sent in ``worker.py``
+    is handled in ``dispatcher.py``; subclasses implement
+    :meth:`check_project` over every parsed module instead of
+    :meth:`check`.  The runner calls it exactly once per lint
+    invocation, after all files are parsed.
+    """
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _RULES: list[Type[Rule]] = []
 
 
@@ -121,7 +139,12 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> list[Type[Rule]]:
     """Every registered rule class (imports the built-in rule sets)."""
-    from . import determinism_rules, simkernel_rules, trace_rules  # noqa: F401
+    from . import (  # noqa: F401
+        determinism_rules,
+        protocol_rules,
+        simkernel_rules,
+        trace_rules,
+    )
 
     return list(_RULES)
 
@@ -163,14 +186,23 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> list[Finding]:
-    """Lint one source string; noqa suppressions applied."""
+    """Lint one source string; noqa suppressions applied.
+
+    Project rules see a one-module world here — cross-module checks
+    degrade to their standalone (fixture) behaviour.
+    """
     if rules is None:
         rules = rules_for()
     tree = ast.parse(source, filename=path)
     module = Module(path, source, tree)
     findings: list[Finding] = []
     for rule in rules:
-        for f in rule.check(module):
+        raw = (
+            rule.check_project([module])
+            if isinstance(rule, ProjectRule)
+            else rule.check(module)
+        )
+        for f in raw:
             if not module.suppressed(f.rule, f.line):
                 findings.append(f)
     return sorted(findings)
@@ -193,9 +225,17 @@ def lint_paths(
     paths: Iterable[str],
     select: Optional[Iterable[str]] = None,
 ) -> LintResult:
-    """Lint every .py file under ``paths``."""
+    """Lint every .py file under ``paths``.
+
+    Per-module rules run file by file; project rules run once over the
+    whole parsed set so cross-module invariants (a kind sent in one file,
+    handled in another) are checked against the full picture.
+    """
     rules = rules_for(select)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     result = LintResult()
+    modules: list[Module] = []
     for path in iter_python_files(paths):
         try:
             source = path.read_text()
@@ -203,10 +243,22 @@ def lint_paths(
             result.errors.append(f"{path}: {exc}")
             continue
         try:
-            result.findings.extend(lint_source(source, str(path), rules))
+            result.findings.extend(
+                lint_source(source, str(path), module_rules)
+            )
+            if project_rules:
+                tree = ast.parse(source, filename=str(path))
+                modules.append(Module(str(path), source, tree))
         except SyntaxError as exc:
             result.errors.append(f"{path}: syntax error: {exc}")
             continue
         result.files += 1
+    if project_rules and modules:
+        by_path = {m.path: m for m in modules}
+        for rule in project_rules:
+            for f in rule.check_project(modules):
+                module = by_path.get(f.path)
+                if module is None or not module.suppressed(f.rule, f.line):
+                    result.findings.append(f)
     result.findings.sort()
     return result

@@ -161,7 +161,12 @@ WORKER_MACHINE = StateMachine(
     initial=frozenset({"started", "registered"}),
     transitions=_graph(
         started=("registered", "killed", "stopped"),
-        registered=("idle", "busy", "heartbeat_missed", "killed", "stopped"),
+        # registered -> lost: a worker dying between its register and
+        # first ready is only ever observed by the dispatcher's
+        # connection-drop path.
+        registered=(
+            "idle", "busy", "heartbeat_missed", "killed", "stopped", "lost",
+        ),
         idle=("busy", "heartbeat_missed", "killed", "stopped", "lost"),
         busy=("idle", "heartbeat_missed", "killed", "stopped", "lost"),
         heartbeat_missed=("lost", "killed", "stopped"),

@@ -1,0 +1,469 @@
+"""Declarative wire-protocol registry for the JETS control plane.
+
+JETS correctness hinges on a three-party message protocol (paper Fig. 4):
+pilot workers ``register``/``ready`` with the dispatcher, which ships
+``run_task``/``run_proxy``/``shutdown`` back; Hydra proxies ``register``
+with their ``mpiexec``, which drives ``start``/``commit``/``abort`` and
+collects ``pmi_put``/``exit``.  Until now that protocol existed only
+implicitly as string-tuple ``socket.send((...))`` sites and ``kind ==``
+ladders.  This module is the single source of truth:
+
+* every message **kind** (exported as a constant so call sites never
+  spell raw strings — see rule PR006),
+* its **payload shape** (field names; arity is checked statically by
+  PR002 and at runtime by :func:`validate_sessions`),
+* its **direction** on its channel (worker→dispatcher, dispatcher→worker,
+  proxy→mpiexec, mpiexec→proxy),
+* its **wire size** discipline (:func:`wire_size` — fixed bytes or
+  derived from the owning config's ``ctrl_msg_bytes``, rule PR005),
+* a per-channel **session state machine** in the style of
+  :mod:`.lifecycle` (``register`` before ``ready`` before ``run_*``;
+  ``commit`` only after every proxy registered), replayed over recorded
+  wire traffic by :func:`validate_sessions` and the bounded schedule
+  explorer (:mod:`.explore`).
+
+The static rules live in :mod:`.protocol_rules` (PR001–PR006).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .lifecycle import StateMachine
+
+__all__ = [
+    "MessageSpec",
+    "WireMessage",
+    "CHANNEL_JETS",
+    "CHANNEL_HYDRA",
+    "CHANNELS",
+    "KIND_CONSTANTS",
+    "ROLE_MODULES",
+    "JETS_SESSION",
+    "HYDRA_SESSION",
+    "SESSION_MACHINES",
+    "lookup_kind",
+    "lookup_message",
+    "known_kind",
+    "wire_size",
+    "channel_for_service",
+    "validate_sessions",
+    # message-kind constants (use these at call sites, never raw strings)
+    "REGISTER",
+    "READY",
+    "READY_ALL",
+    "HEARTBEAT",
+    "DONE",
+    "RUN_TASK",
+    "RUN_PROXY",
+    "SHUTDOWN",
+    "START",
+    "PMI_PUT",
+    "COMMIT",
+    "EXIT",
+    "ABORT",
+    "CLOSED",
+    "EXTERNAL_ABORT",
+    "PROTOCOL_ERROR",
+]
+
+# -- channels ------------------------------------------------------------------
+
+#: Worker agent ⇄ JETS dispatcher (service ``"jets"``).
+CHANNEL_JETS = "jets"
+#: Hydra proxy ⇄ background mpiexec (services ``"mpiexec-*"``).
+CHANNEL_HYDRA = "hydra"
+
+# -- message kinds -------------------------------------------------------------
+
+REGISTER = "register"
+READY = "ready"
+READY_ALL = "ready_all"
+HEARTBEAT = "heartbeat"
+DONE = "done"
+RUN_TASK = "run_task"
+RUN_PROXY = "run_proxy"
+SHUTDOWN = "shutdown"
+START = "start"
+PMI_PUT = "pmi_put"
+COMMIT = "commit"
+EXIT = "exit"
+ABORT = "abort"
+#: Internal mpiexec queue marks — never legal on the wire.
+CLOSED = "closed"
+EXTERNAL_ABORT = "external_abort"
+PROTOCOL_ERROR = "protocol_error"
+
+#: Constant name -> kind value; :mod:`.protocol_rules` resolves references
+#: to these names at call sites (PR006 demands them over raw strings).
+KIND_CONSTANTS: dict[str, str] = {
+    "REGISTER": REGISTER,
+    "READY": READY,
+    "READY_ALL": READY_ALL,
+    "HEARTBEAT": HEARTBEAT,
+    "DONE": DONE,
+    "RUN_TASK": RUN_TASK,
+    "RUN_PROXY": RUN_PROXY,
+    "SHUTDOWN": SHUTDOWN,
+    "START": START,
+    "PMI_PUT": PMI_PUT,
+    "COMMIT": COMMIT,
+    "EXIT": EXIT,
+    "ABORT": ABORT,
+    "CLOSED": CLOSED,
+    "EXTERNAL_ABORT": EXTERNAL_ABORT,
+    "PROTOCOL_ERROR": PROTOCOL_ERROR,
+}
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """Declared schema of one protocol message kind on one channel.
+
+    Attributes:
+        kind: the wire tag (payload tuple head).
+        channel: :data:`CHANNEL_JETS` or :data:`CHANNEL_HYDRA`.
+        sender: sending role (``worker``/``dispatcher``/``proxy``/
+            ``mpiexec``; ``internal`` marks local queue sentinels).
+        receiver: receiving role.
+        fields: payload element names *after* the kind tag.
+        base_bytes: fixed wire size, or ``None`` when the size derives
+            from the sending side's ``ctrl_msg_bytes`` (PR005 discipline).
+        variable: True when a staging/data payload may ride along
+            (``extra`` bytes are legal in :func:`wire_size`).
+        internal: local queue mark, never legal on the wire.
+    """
+
+    kind: str
+    channel: str
+    sender: str
+    receiver: str
+    fields: tuple[str, ...] = ()
+    base_bytes: Optional[int] = None
+    variable: bool = False
+    internal: bool = False
+
+    @property
+    def arity(self) -> int:
+        """Full payload tuple length, kind tag included."""
+        return len(self.fields) + 1
+
+
+def _msg(kind, channel, sender, receiver, fields=(), base=None,
+         variable=False, internal=False) -> MessageSpec:
+    return MessageSpec(
+        kind=kind,
+        channel=channel,
+        sender=sender,
+        receiver=receiver,
+        fields=tuple(fields),
+        base_bytes=base,
+        variable=variable,
+        internal=internal,
+    )
+
+
+#: channel -> kind -> spec.  The whole wire vocabulary.
+CHANNELS: dict[str, dict[str, MessageSpec]] = {
+    CHANNEL_JETS: {
+        spec.kind: spec
+        for spec in (
+            _msg(REGISTER, CHANNEL_JETS, "worker", "dispatcher",
+                 ("worker", "node", "slots"), base=256),
+            _msg(READY, CHANNEL_JETS, "worker", "dispatcher",
+                 ("worker",), base=64),
+            _msg(READY_ALL, CHANNEL_JETS, "worker", "dispatcher",
+                 ("worker",), base=64),
+            _msg(HEARTBEAT, CHANNEL_JETS, "worker", "dispatcher",
+                 ("worker",), base=32),
+            _msg(DONE, CHANNEL_JETS, "worker", "dispatcher",
+                 ("worker", "job", "status", "value"), base=128,
+                 variable=True),
+            _msg(RUN_TASK, CHANNEL_JETS, "dispatcher", "worker",
+                 ("job",), base=None, variable=True),
+            _msg(RUN_PROXY, CHANNEL_JETS, "dispatcher", "worker",
+                 ("command", "program"), base=None, variable=True),
+            _msg(SHUTDOWN, CHANNEL_JETS, "dispatcher", "worker",
+                 (), base=None),
+        )
+    },
+    CHANNEL_HYDRA: {
+        spec.kind: spec
+        for spec in (
+            _msg(REGISTER, CHANNEL_HYDRA, "proxy", "mpiexec",
+                 ("proxy",), base=512),
+            _msg(PMI_PUT, CHANNEL_HYDRA, "proxy", "mpiexec",
+                 ("rank", "key", "value"), base=256),
+            _msg(EXIT, CHANNEL_HYDRA, "proxy", "mpiexec",
+                 ("proxy", "status", "value"), base=512),
+            _msg(START, CHANNEL_HYDRA, "mpiexec", "proxy",
+                 (), base=None),
+            _msg(COMMIT, CHANNEL_HYDRA, "mpiexec", "proxy",
+                 ("comm",), base=0, variable=True),
+            _msg(ABORT, CHANNEL_HYDRA, "mpiexec", "proxy",
+                 (), base=None),
+            _msg(CLOSED, CHANNEL_HYDRA, "internal", "mpiexec",
+                 (), base=0, internal=True),
+            _msg(EXTERNAL_ABORT, CHANNEL_HYDRA, "internal", "mpiexec",
+                 ("reason",), base=0, internal=True),
+            _msg(PROTOCOL_ERROR, CHANNEL_HYDRA, "internal", "mpiexec",
+                 ("payload",), base=0, internal=True),
+        )
+    },
+}
+
+#: channel -> path suffixes of the modules implementing its endpoints.
+#: PR003/PR004 treat a lint set as a closed world only when it contains
+#: all (or none — fixture mode) of a channel's declared modules.
+ROLE_MODULES: dict[str, tuple[str, ...]] = {
+    CHANNEL_JETS: ("repro/core/dispatcher.py", "repro/core/worker.py"),
+    CHANNEL_HYDRA: ("repro/mpi/hydra.py",),
+}
+
+
+def lookup_message(channel: str, kind: str) -> Optional[MessageSpec]:
+    """The spec of ``kind`` on ``channel`` (None if undeclared)."""
+    return CHANNELS.get(channel, {}).get(kind)
+
+
+def lookup_kind(kind: str) -> tuple[MessageSpec, ...]:
+    """All specs named ``kind`` across channels (``register`` has two)."""
+    return tuple(
+        channel[kind] for channel in CHANNELS.values() if kind in channel
+    )
+
+
+def known_kind(kind: str) -> bool:
+    """Whether any channel declares ``kind``."""
+    return bool(lookup_kind(kind))
+
+
+def wire_size(
+    channel: str,
+    kind: str,
+    ctrl: Optional[int] = None,
+    extra: int = 0,
+) -> int:
+    """The declared wire size of one message, in bytes.
+
+    ``ctrl`` supplies the sending side's ``ctrl_msg_bytes`` for kinds
+    whose size derives from it; ``extra`` adds a data payload (staging
+    bytes, KVS commit bytes) and is only legal on ``variable`` kinds.
+    Every protocol ``socket.send`` must compute its size through here so
+    the static checker (PR005) can verify the discipline.
+    """
+    spec = lookup_message(channel, kind)
+    if spec is None:
+        raise ValueError(f"unknown protocol message {channel}:{kind}")
+    if spec.internal:
+        raise ValueError(f"{channel}:{kind} is internal; it has no wire size")
+    if spec.base_bytes is None:
+        if ctrl is None:
+            raise ValueError(
+                f"{channel}:{kind} derives its size from ctrl_msg_bytes; "
+                "pass ctrl="
+            )
+        base = ctrl
+    else:
+        base = spec.base_bytes
+    if extra:
+        if not spec.variable:
+            raise ValueError(
+                f"{channel}:{kind} carries no data payload; extra bytes "
+                "are not legal"
+            )
+        if extra < 0:
+            raise ValueError(f"negative extra bytes {extra}")
+        base += extra
+    return base
+
+
+def channel_for_service(service: str) -> Optional[str]:
+    """Map a socket service name to its protocol channel (None: unknown)."""
+    if service == "jets":
+        return CHANNEL_JETS
+    if service.startswith("mpiexec-"):
+        return CHANNEL_HYDRA
+    return None
+
+
+# -- per-channel session state machines ----------------------------------------
+
+def _graph(**edges: tuple[str, ...]):
+    return {state: frozenset(nxt) for state, nxt in edges.items()}
+
+
+#: One worker⇄dispatcher connection: ``register`` first and exactly once,
+#: nothing dispatched before a ``ready`` credit, silence after
+#: ``shutdown``.  ``heartbeat`` carries no session state.  A session may
+#: truncate anywhere (worker loss) — only illegal *transitions* are
+#: violations, never incompleteness.
+JETS_SESSION = StateMachine(
+    entity="jets-session",
+    states=("registered", "ready", "dispatched", "done", "shutdown"),
+    initial=frozenset({"registered"}),
+    transitions=_graph(
+        registered=("ready", "shutdown"),
+        ready=("ready", "dispatched", "done", "shutdown"),
+        dispatched=("dispatched", "ready", "done", "shutdown"),
+        done=("done", "ready", "dispatched", "shutdown"),
+        shutdown=(),
+    ),
+    events={
+        REGISTER: "registered",
+        READY: "ready",
+        READY_ALL: "ready",
+        RUN_TASK: "dispatched",
+        RUN_PROXY: "dispatched",
+        DONE: "done",
+        SHUTDOWN: "shutdown",
+    },
+    ignored_events=frozenset({HEARTBEAT}),
+    id_key="conn",
+)
+
+#: One proxy⇄mpiexec connection: PMI wire-up order (``register`` →
+#: ``start`` → puts → ``commit`` → ``exit``); ``abort`` is legal from any
+#: live state, and an ``abort``/``exit`` pair may cross in flight.
+HYDRA_SESSION = StateMachine(
+    entity="hydra-session",
+    states=("registered", "started", "wiring", "committed", "exited",
+            "aborted"),
+    initial=frozenset({"registered"}),
+    transitions=_graph(
+        registered=("started", "aborted"),
+        started=("wiring", "aborted"),
+        wiring=("wiring", "committed", "aborted"),
+        committed=("exited", "aborted"),
+        aborted=("exited", "aborted"),
+        exited=("aborted",),
+    ),
+    events={
+        REGISTER: "registered",
+        START: "started",
+        PMI_PUT: "wiring",
+        COMMIT: "committed",
+        EXIT: "exited",
+        ABORT: "aborted",
+    },
+    id_key="conn",
+)
+
+#: channel -> session machine.
+SESSION_MACHINES: dict[str, StateMachine] = {
+    CHANNEL_JETS: JETS_SESSION,
+    CHANNEL_HYDRA: HYDRA_SESSION,
+}
+
+
+# -- recorded-traffic validation ------------------------------------------------
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One observed send, in global send order (netsim-tap agnostic)."""
+
+    conn: object
+    channel: str
+    kind: str
+    payload: tuple
+    nbytes: int = 0
+    sender: str = ""
+    service: str = ""
+    time: float = 0.0
+
+
+def validate_sessions(messages: Iterable["WireMessage"]) -> list[str]:
+    """Replay recorded wire traffic against the protocol registry.
+
+    Checks, per message: the kind is declared on its channel and not an
+    internal mark; the payload arity matches.  Per connection: the kind
+    sequence satisfies the channel's session machine, and (jets) the
+    dispatcher never dispatches past the worker's announced ready
+    credits.  Per mpiexec service: ``commit`` is only sent once every
+    proxy that ever registers has registered.  Returns human-readable
+    violations (empty = conformant).
+    """
+    problems: list[str] = []
+    sequences: dict[object, list[str]] = {}
+    conn_channel: dict[object, str] = {}
+    conn_label: dict[object, str] = {}
+    credits: dict[object, Optional[int]] = {}
+    slots: dict[object, int] = {}
+    hydra_last_register: dict[str, int] = {}
+    hydra_first_commit: dict[str, int] = {}
+
+    for index, msg in enumerate(messages):
+        label = f"{msg.service or msg.channel}#{msg.conn}"
+        spec = lookup_message(msg.channel, msg.kind)
+        if spec is None:
+            problems.append(
+                f"msg {index} [{label}]: kind {msg.kind!r} is not declared "
+                f"on channel {msg.channel!r}"
+            )
+            continue
+        if spec.internal:
+            problems.append(
+                f"msg {index} [{label}]: internal mark {msg.kind!r} "
+                "observed on the wire"
+            )
+            continue
+        if len(msg.payload) != spec.arity:
+            problems.append(
+                f"msg {index} [{label}]: {msg.kind!r} payload has "
+                f"{len(msg.payload)} elements, registry declares "
+                f"{spec.arity} ({('kind', *spec.fields)!r})"
+            )
+        sequences.setdefault(msg.conn, []).append(msg.kind)
+        conn_channel[msg.conn] = msg.channel
+        conn_label.setdefault(msg.conn, label)
+
+        if msg.channel == CHANNEL_JETS:
+            have = credits.get(msg.conn)
+            if msg.kind == REGISTER and len(msg.payload) == spec.arity:
+                slots[msg.conn] = int(msg.payload[3])
+                credits[msg.conn] = 0
+            elif msg.kind == READY and have is not None:
+                credits[msg.conn] = min(slots[msg.conn], have + 1)
+            elif msg.kind == READY_ALL and have is not None:
+                credits[msg.conn] = slots[msg.conn]
+            elif msg.kind == RUN_TASK and have is not None:
+                if have < 1:
+                    problems.append(
+                        f"msg {index} [{label}]: run_task dispatched with "
+                        "no ready credit outstanding"
+                    )
+                else:
+                    credits[msg.conn] = have - 1
+            elif msg.kind == RUN_PROXY and have is not None:
+                if have < slots[msg.conn]:
+                    problems.append(
+                        f"msg {index} [{label}]: run_proxy dispatched to a "
+                        f"worker with {have}/{slots[msg.conn]} slots free "
+                        "(MPI jobs claim whole workers)"
+                    )
+                credits[msg.conn] = 0
+        elif msg.channel == CHANNEL_HYDRA:
+            if msg.kind == REGISTER:
+                hydra_last_register[msg.service] = index
+            elif msg.kind == COMMIT:
+                hydra_first_commit.setdefault(msg.service, index)
+
+    for conn, kinds in sequences.items():
+        machine = SESSION_MACHINES[conn_channel[conn]]
+        states = [
+            machine.events[k] for k in kinds
+            if k not in machine.ignored_events and k in machine.events
+        ]
+        for _i, message in machine.validate(states):
+            problems.append(f"session [{conn_label[conn]}]: {message}")
+
+    for service, commit_index in sorted(hydra_first_commit.items()):
+        last_register = hydra_last_register.get(service, -1)
+        if last_register > commit_index:
+            problems.append(
+                f"service [{service}]: commit at msg {commit_index} "
+                f"precedes a proxy register at msg {last_register} "
+                "(commit requires every proxy registered)"
+            )
+    return problems

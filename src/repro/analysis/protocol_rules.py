@@ -1,0 +1,614 @@
+"""Static wire-protocol conformance rules (PR001–PR006).
+
+These rules extract every protocol send site — a ``sock.send((kind,
+...), nbytes)`` call whose first argument is a tuple — and every handle
+site — a comparison of a message kind (``kind == ...``, ``msg.payload[0]
+in (...)``) or a kind-guarded ``... = msg.payload`` destructuring — and
+check them against the declarative registry in :mod:`.protocol`:
+
+* **PR001** — message kind undeclared in the protocol registry.
+* **PR002** — payload arity disagrees with the registry (sender tuple or
+  receiver destructuring).
+* **PR003** — kind sent on a channel but never handled by the receiving
+  side (project-wide).
+* **PR004** — kind handled but never sent (dead protocol arm,
+  project-wide).
+* **PR005** — send size not routed through :func:`.protocol.wire_size`
+  (the ``ctrl_msg_bytes`` discipline), or computed for a different kind
+  than the one being sent.
+* **PR006** — raw string kind at a call site; registry constants keep
+  senders and receivers spelling-consistent (the aggregator f-string bug
+  class).
+
+Kind extraction is intentionally conservative: only tuple-literal send
+heads and comparisons against ``kind`` variables / ``*.payload[0]``
+subscripts are considered, and PR001/PR006 only fire in modules that
+exhibit protocol traffic (a tuple-head send or a ``.payload`` access), so
+unrelated string comparisons elsewhere in the tree are never flagged.
+
+PR003/PR004 are *project* rules: for each channel they only judge a lint
+set that contains **all** of the channel's declared role modules
+(:data:`.protocol.ROLE_MODULES`); a partial set (a single file passed to
+``jets lint``) is never a closed world.  Modules outside any role set —
+the seeded test fixtures — are judged standalone when they model both
+sides (contain sends *and* handle sites).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from .framework import Finding, Module, ProjectRule, Rule, register
+from .protocol import (
+    CHANNELS,
+    KIND_CONSTANTS,
+    ROLE_MODULES,
+    known_kind,
+    lookup_kind,
+    lookup_message,
+)
+
+__all__ = [
+    "KindRef",
+    "SendSite",
+    "HandleSite",
+    "protocol_sends",
+    "handle_sites",
+    "payload_unpacks",
+    "is_protocol_module",
+]
+
+#: Channel-constant names resolvable in ``wire_size`` channel arguments.
+_CHANNEL_CONSTANTS = {"CHANNEL_JETS": "jets", "CHANNEL_HYDRA": "hydra"}
+
+
+@dataclass(frozen=True)
+class KindRef:
+    """One resolved message-kind literal/constant at a call site."""
+
+    value: str
+    raw: bool  # True: spelled as a string literal, not a constant
+    node: ast.AST
+
+
+def _kind_refs(node: ast.AST) -> Optional[list[KindRef]]:
+    """Resolve an expression to the kinds it can denote.
+
+    Handles string literals, registry-constant references (``READY`` /
+    ``wire.READY``) and conditional expressions over both.  Returns None
+    when the expression is not statically resolvable.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [KindRef(node.value, True, node)]
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None and name in KIND_CONSTANTS:
+        return [KindRef(KIND_CONSTANTS[name], False, node)]
+    if isinstance(node, ast.IfExp):
+        body = _kind_refs(node.body)
+        orelse = _kind_refs(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+@dataclass
+class SendSite:
+    """One ``sock.send((kind, ...), nbytes)`` call."""
+
+    call: ast.Call
+    refs: list[KindRef]
+    arity: Optional[int]  # None: starred elements, arity unknown
+    size: Optional[ast.AST]  # the nbytes argument, if present
+
+
+@dataclass
+class HandleSite:
+    """One comparison of a message kind against literal kinds."""
+
+    node: ast.AST
+    refs: list[KindRef]
+    op: ast.cmpop
+
+
+def _is_kindish(node: ast.AST) -> bool:
+    """Whether an expression denotes an inbound message kind.
+
+    Recognized: a variable named ``kind`` and ``<expr>.payload[0]``.
+    """
+    if isinstance(node, ast.Name) and node.id == "kind":
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "payload"
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == 0
+    ):
+        return True
+    return False
+
+
+def _compare_refs(node: ast.Compare) -> Optional[HandleSite]:
+    """Extract a kind comparison from one Compare node, if it is one."""
+    if len(node.ops) != 1 or len(node.comparators) != 1:
+        return None
+    op = node.ops[0]
+    if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+        return None
+    left, right = node.left, node.comparators[0]
+    if _is_kindish(left):
+        other = right
+    elif _is_kindish(right):
+        other = left
+    else:
+        return None
+    if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+        other, (ast.Tuple, ast.List, ast.Set)
+    ):
+        refs: list[KindRef] = []
+        for elt in other.elts:
+            sub = _kind_refs(elt)
+            if sub is None:
+                return None
+            refs.extend(sub)
+        return HandleSite(node, refs, op)
+    refs = _kind_refs(other)
+    if refs is None:
+        return None
+    return HandleSite(node, refs, op)
+
+
+def protocol_sends(module: Module) -> list[SendSite]:
+    """All protocol send sites in one module."""
+    sites: list[SendSite] = []
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and node.args
+            and isinstance(node.args[0], ast.Tuple)
+            and node.args[0].elts
+        ):
+            continue
+        tup = node.args[0]
+        refs = _kind_refs(tup.elts[0])
+        if refs is None:
+            continue
+        arity: Optional[int] = len(tup.elts)
+        if any(isinstance(e, ast.Starred) for e in tup.elts):
+            arity = None
+        size = node.args[1] if len(node.args) > 1 else None
+        if size is None:
+            for kw in node.keywords:
+                if kw.arg == "nbytes":
+                    size = kw.value
+        sites.append(SendSite(node, refs, arity, size))
+    return sites
+
+
+def handle_sites(module: Module) -> list[HandleSite]:
+    """All kind-comparison sites in one module."""
+    sites: list[HandleSite] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Compare):
+            site = _compare_refs(node)
+            if site is not None:
+                sites.append(site)
+    return sites
+
+
+def is_protocol_module(module: Module) -> bool:
+    """Whether a module exhibits protocol traffic at all.
+
+    Gates PR001/PR006 comparison checks so ``kind == "MPI"`` style string
+    dispatch in unrelated modules is never mistaken for wire traffic.
+    """
+    if protocol_sends(module):
+        return True
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr == "payload":
+            return True
+    return False
+
+
+def _is_payload_expr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == "payload") or (
+        isinstance(node, ast.Name) and node.id == "payload"
+    )
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+@dataclass
+class Unpack:
+    """One kind-guarded ``a, b, ... = msg.payload`` destructuring."""
+
+    node: ast.Assign
+    kinds: frozenset[str]
+    arity: int
+
+
+def payload_unpacks(module: Module) -> list[Unpack]:
+    """Kind-guarded payload destructurings, with the guarding kinds.
+
+    Understands both branch guards (``if kind == K: _, a = msg.payload``)
+    and early-exit guards (``if kind != K: return`` followed by the
+    unpack in the same block).
+    """
+    unpacks: list[Unpack] = []
+
+    def scan_stmt(stmt: ast.stmt, kinds: Optional[frozenset[str]]) -> None:
+        if isinstance(stmt, ast.Assign) and kinds:
+            if (
+                len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Tuple)
+                and _is_payload_expr(stmt.value)
+                and not any(
+                    isinstance(t, ast.Starred)
+                    for t in stmt.targets[0].elts
+                )
+            ):
+                unpacks.append(
+                    Unpack(stmt, kinds, len(stmt.targets[0].elts))
+                )
+            return
+        for block in _blocks_of(stmt):
+            guarded = kinds
+            if isinstance(stmt, ast.If) and block is stmt.body:
+                site = (
+                    _compare_refs(stmt.test)
+                    if isinstance(stmt.test, ast.Compare)
+                    else None
+                )
+                if site is not None and isinstance(site.op, (ast.Eq, ast.In)):
+                    guarded = frozenset(r.value for r in site.refs)
+            scan_block(block, guarded)
+
+    def scan_block(
+        stmts: Sequence[ast.stmt], kinds: Optional[frozenset[str]]
+    ) -> None:
+        active = kinds
+        for stmt in stmts:
+            scan_stmt(stmt, active)
+            # Early-exit guard: `if kind != K: ...return` narrows the rest
+            # of this block to K.
+            if isinstance(stmt, ast.If) and isinstance(stmt.test, ast.Compare):
+                site = _compare_refs(stmt.test)
+                if (
+                    site is not None
+                    and isinstance(site.op, (ast.NotEq, ast.NotIn))
+                    and _terminates(stmt.body)
+                    and not stmt.orelse
+                ):
+                    active = frozenset(r.value for r in site.refs)
+
+    def _blocks_of(stmt: ast.stmt) -> list[Sequence[ast.stmt]]:
+        blocks = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block and isinstance(block[0], ast.stmt):
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
+
+    scan_block(module.tree.body, None)
+    return unpacks
+
+
+@register
+class UnknownKind(Rule):
+    id = "PR001"
+    severity = "error"
+    description = (
+        "Message kind at a protocol call site is not declared in the "
+        "protocol registry"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not is_protocol_module(module):
+            return
+        seen: set[int] = set()
+        for refs in _all_refs(module):
+            for ref in refs:
+                if not known_kind(ref.value) and id(ref.node) not in seen:
+                    seen.add(id(ref.node))
+                    yield self.finding(
+                        module,
+                        ref.node,
+                        f"unknown message kind {ref.value!r}; declared "
+                        "kinds live in repro.analysis.protocol",
+                    )
+
+
+@register
+class ArityMismatch(Rule):
+    id = "PR002"
+    severity = "error"
+    description = (
+        "Payload arity at a send or destructuring site disagrees with "
+        "the protocol registry"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for site in protocol_sends(module):
+            if site.arity is None:
+                continue
+            for ref in site.refs:
+                specs = lookup_kind(ref.value)
+                if specs and site.arity not in {s.arity for s in specs}:
+                    declared = " or ".join(
+                        str(s.arity) for s in specs
+                    )
+                    yield self.finding(
+                        module,
+                        site.call,
+                        f"{ref.value!r} sent with {site.arity} payload "
+                        f"elements; the registry declares {declared}",
+                    )
+        for unpack in payload_unpacks(module):
+            specs = [s for k in unpack.kinds for s in lookup_kind(k)]
+            if specs and unpack.arity not in {s.arity for s in specs}:
+                kinds = "/".join(sorted(unpack.kinds))
+                declared = " or ".join(
+                    sorted({str(s.arity) for s in specs})
+                )
+                yield self.finding(
+                    module,
+                    unpack.node,
+                    f"payload of {kinds} destructured into {unpack.arity} "
+                    f"names; the registry declares {declared}",
+                )
+
+
+def _all_refs(module: Module) -> Iterator[list[KindRef]]:
+    for send in protocol_sends(module):
+        yield send.refs
+    for handle in handle_sites(module):
+        yield handle.refs
+
+
+def _module_kinds(module: Module) -> tuple[dict[str, ast.AST], dict[str, ast.AST]]:
+    """(sent kinds, handled kinds) of one module, with an anchor node each."""
+    sent: dict[str, ast.AST] = {}
+    handled: dict[str, ast.AST] = {}
+    for send in protocol_sends(module):
+        for ref in send.refs:
+            sent.setdefault(ref.value, send.call)
+    for handle in handle_sites(module):
+        for ref in handle.refs:
+            handled.setdefault(ref.value, handle.node)
+    return sent, handled
+
+
+def _channel_worlds(
+    modules: Sequence[Module],
+) -> Iterator[tuple[str, list[Module]]]:
+    """Closed worlds to judge: complete channels, then standalone modules."""
+    normalized = {
+        m.path.replace("\\", "/"): m for m in modules
+    }
+    claimed: set[str] = set()
+    for channel, suffixes in sorted(ROLE_MODULES.items()):
+        members = []
+        for suffix in suffixes:
+            for path, module in normalized.items():
+                if path.endswith(suffix):
+                    # A role module is claimed even when its channel's
+                    # world turns out incomplete: one endpoint of a
+                    # two-sided channel must never be judged standalone.
+                    claimed.add(module.path)
+                    members.append(module)
+                    break
+        if len(members) == len(suffixes):
+            yield channel, members
+    for module in modules:
+        if module.path in claimed:
+            continue
+        sent, handled = _module_kinds(module)
+        if sent and handled:
+            yield "", [module]
+
+
+def _world_kinds(
+    channel: str, members: Sequence[Module]
+) -> tuple[dict[str, tuple[Module, ast.AST]], dict[str, tuple[Module, ast.AST]]]:
+    sent: dict[str, tuple[Module, ast.AST]] = {}
+    handled: dict[str, tuple[Module, ast.AST]] = {}
+    for module in members:
+        m_sent, m_handled = _module_kinds(module)
+        for kind, node in m_sent.items():
+            sent.setdefault(kind, (module, node))
+        for kind, node in m_handled.items():
+            handled.setdefault(kind, (module, node))
+    if channel:
+        # Internal queue marks are handled in the mpiexec ladder but are
+        # never (legally) sent on the wire: exempt from both directions.
+        internal = {
+            k for k, s in CHANNELS[channel].items() if s.internal
+        }
+        sent = {k: v for k, v in sent.items() if k not in internal}
+        handled = {k: v for k, v in handled.items() if k not in internal}
+    return sent, handled
+
+
+@register
+class SentNeverHandled(ProjectRule):
+    id = "PR003"
+    severity = "error"
+    description = (
+        "Message kind is sent on a channel but no receiving module "
+        "handles it"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        for channel, members in _channel_worlds(modules):
+            sent, handled = _world_kinds(channel, members)
+            for kind, (module, node) in sorted(sent.items()):
+                if kind not in handled:
+                    where = channel or "this module"
+                    yield self.finding(
+                        module,
+                        node,
+                        f"kind {kind!r} is sent but never handled by any "
+                        f"receiver in {where}",
+                    )
+
+
+@register
+class HandledNeverSent(ProjectRule):
+    id = "PR004"
+    severity = "warning"
+    description = (
+        "Message kind is handled by a receiver but no module ever "
+        "sends it (dead protocol arm)"
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        for channel, members in _channel_worlds(modules):
+            sent, handled = _world_kinds(channel, members)
+            for kind, (module, node) in sorted(handled.items()):
+                if kind not in sent:
+                    where = channel or "this module"
+                    yield self.finding(
+                        module,
+                        node,
+                        f"kind {kind!r} is handled but never sent in "
+                        f"{where} (dead protocol arm)",
+                    )
+
+
+def _wire_size_call(node: ast.AST) -> Optional[ast.Call]:
+    """The node as a ``wire_size(...)`` call, if it is one."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return node if name == "wire_size" else None
+
+
+@register
+class SizeDiscipline(Rule):
+    id = "PR005"
+    severity = "error"
+    description = (
+        "Protocol send size must be computed by protocol.wire_size for "
+        "the kind being sent"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for site in protocol_sends(module):
+            kinds = {r.value for r in site.refs}
+            if not any(known_kind(k) for k in kinds):
+                continue  # unknown vocabulary: PR001's problem
+            if site.size is None:
+                yield self.finding(
+                    module,
+                    site.call,
+                    "protocol send without an explicit size; compute it "
+                    "with protocol.wire_size(...)",
+                )
+                continue
+            call = _wire_size_call(site.size)
+            if call is None:
+                yield self.finding(
+                    module,
+                    site.size,
+                    "send size is not routed through protocol.wire_size; "
+                    "hard-coded byte counts drift from the registry",
+                )
+                continue
+            if len(call.args) < 2:
+                yield self.finding(
+                    module,
+                    call,
+                    "wire_size call needs (channel, kind) arguments",
+                )
+                continue
+            size_refs = _kind_refs(call.args[1])
+            if size_refs is not None:
+                size_kinds = {r.value for r in size_refs}
+                if size_kinds != kinds:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"wire_size computes the size of "
+                        f"{sorted(size_kinds)} but the send ships "
+                        f"{sorted(kinds)}",
+                    )
+                    continue
+            channel_arg = call.args[0]
+            channel = None
+            if isinstance(channel_arg, ast.Constant) and isinstance(
+                channel_arg.value, str
+            ):
+                channel = channel_arg.value
+            else:
+                name = None
+                if isinstance(channel_arg, ast.Name):
+                    name = channel_arg.id
+                elif isinstance(channel_arg, ast.Attribute):
+                    name = channel_arg.attr
+                channel = _CHANNEL_CONSTANTS.get(name or "")
+            if channel is not None:
+                for kind in sorted(kinds):
+                    if (
+                        known_kind(kind)
+                        and lookup_message(channel, kind) is None
+                    ):
+                        yield self.finding(
+                            module,
+                            call,
+                            f"kind {kind!r} is not declared on channel "
+                            f"{channel!r}",
+                        )
+
+
+@register
+class StringlyTypedKind(Rule):
+    id = "PR006"
+    severity = "error"
+    description = (
+        "Raw string message kind at a protocol call site; use the "
+        "registry constants from repro.analysis.protocol"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not is_protocol_module(module):
+            return
+        seen: set[int] = set()
+        for refs in _all_refs(module):
+            for ref in refs:
+                if (
+                    ref.raw
+                    and known_kind(ref.value)
+                    and id(ref.node) not in seen
+                ):
+                    seen.add(id(ref.node))
+                    constant = next(
+                        name
+                        for name, value in KIND_CONSTANTS.items()
+                        if value == ref.value
+                    )
+                    yield self.finding(
+                        module,
+                        ref.node,
+                        f"raw string kind {ref.value!r}; use "
+                        f"protocol.{constant} so senders and receivers "
+                        "cannot drift apart",
+                    )

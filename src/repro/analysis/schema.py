@@ -37,6 +37,7 @@ __all__ = [
     "ALLOCATION_END",
     "FAULT_KILL",
     "DISPATCHER_REGISTER",
+    "PROTOCOL_ERROR",
     "COASTERS_BLOCK_REQUESTED",
     "COASTERS_BLOCK_READY",
     "WORKER_IDLE",
@@ -95,6 +96,7 @@ ALLOCATION_START = "allocation.start"
 ALLOCATION_END = "allocation.end"
 FAULT_KILL = "fault.kill"
 DISPATCHER_REGISTER = "dispatcher.register"
+PROTOCOL_ERROR = "protocol.error"
 COASTERS_BLOCK_REQUESTED = "coasters.block_requested"
 COASTERS_BLOCK_READY = "coasters.block_ready"
 WORKER_IDLE = "worker.idle"
@@ -201,6 +203,15 @@ _STATIC_SPECS = [
         DISPATCHER_REGISTER,
         required=("worker", "node"),
         description="dispatcher-side registration bookkeeping",
+    ),
+    _spec(
+        PROTOCOL_ERROR,
+        required=("channel", "kind"),
+        optional=("worker", "job", "detail"),
+        description=(
+            "endpoint received a message violating the wire protocol; "
+            "the offending peer is torn down, the service keeps running"
+        ),
     ),
     _spec(
         COASTERS_BLOCK_REQUESTED,

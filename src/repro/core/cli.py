@@ -11,6 +11,7 @@ Usage::
     jets report RUN.jsonl
     jets lint [PATH ...]
     jets lint-trace RUN.jsonl
+    jets explore [--schedules N] [--seed S]
 
 ``TASKFILE`` uses the paper's input format, e.g.::
 
@@ -26,7 +27,10 @@ prints the observability run summary; ``jets report`` re-renders that
 summary from a saved JSONL dump.  ``jets lint`` runs the static
 invariant checkers (:mod:`repro.analysis`) over Python sources and
 ``jets lint-trace`` validates a recorded run against the trace schema
-registry and lifecycle state machines.
+registry and lifecycle state machines.  ``jets explore`` runs bounded
+schedule exploration: many event-order permutations (with injected
+worker loss) of a small configuration, each re-validated against the
+trace and wire-protocol checkers (:mod:`repro.analysis.explore`).
 """
 
 from __future__ import annotations
@@ -153,6 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.cli import lint_trace_main
 
         return lint_trace_main(list(argv[1:]))
+    if argv and argv[0] == "explore":
+        from ..analysis.explore import explore_main
+
+        return explore_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     for path in (args.trace_out, args.chrome_trace):
         reason = unwritable_reason(path)

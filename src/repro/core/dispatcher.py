@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Generator, Optional
 
+from ..analysis import protocol as wire
 from ..cluster.platform import Platform
 from ..mpi.hydra import HydraConfig, JobResult, MpiexecController
 from ..netsim.sockets import ConnectionClosed, Socket
@@ -186,7 +187,14 @@ class JetsDispatcher:
         for view in self.aggregator.workers():
             if not view.socket.closed:
                 try:
-                    yield view.socket.send(("shutdown",), 64)
+                    yield view.socket.send(
+                        (wire.SHUTDOWN,),
+                        wire.wire_size(
+                            wire.CHANNEL_JETS,
+                            wire.SHUTDOWN,
+                            ctrl=self.config.ctrl_msg_bytes,
+                        ),
+                    )
                 except ConnectionClosed:
                     pass
 
@@ -226,7 +234,15 @@ class JetsDispatcher:
             msg = yield sock.recv()
             yield from self._service()
             kind = msg.payload[0]
-            if kind != "register":
+            if kind != wire.REGISTER:
+                self.platform.trace.log(
+                    "protocol.error",
+                    {
+                        "channel": wire.CHANNEL_JETS,
+                        "kind": str(kind),
+                        "detail": "first message must be register",
+                    },
+                )
                 sock.close()
                 return
             _, worker_id, node_id, slots = msg.payload
@@ -250,21 +266,39 @@ class JetsDispatcher:
                 payload = msg.payload
                 kind = payload[0]
                 view.last_seen = self.env.now
-                if kind in ("ready", "ready_all"):
+                if kind in (wire.READY, wire.READY_ALL):
                     self.aggregator.mark_ready(
-                        view.worker_id, self.env.now, all_slots=(kind == "ready_all")
+                        view.worker_id,
+                        self.env.now,
+                        all_slots=(kind == wire.READY_ALL),
                     )
                     self.platform.trace.log(
                         "worker.ready", {"worker": view.worker_id}
                     )
                     self._wakeup()
-                elif kind == "heartbeat":
+                elif kind == wire.HEARTBEAT:
                     pass
-                elif kind == "done":
+                elif kind == wire.DONE:
                     _, worker_id, job_id, status, value = payload
                     self._on_worker_done(view, job_id, status, value)
-                else:  # pragma: no cover - protocol guard
-                    raise RuntimeError(f"dispatcher: unknown message {kind!r}")
+                else:
+                    # A protocol violation must not kill the event loop
+                    # (every other worker would go down with it): record
+                    # it, tear down just this worker, keep serving.
+                    self.platform.trace.log(
+                        "protocol.error",
+                        {
+                            "channel": wire.CHANNEL_JETS,
+                            "kind": str(kind),
+                            "worker": view.worker_id,
+                            "detail": "unknown message kind from worker",
+                        },
+                    )
+                    self._worker_lost(
+                        view, f"protocol error: unknown message {kind!r}"
+                    )
+                    sock.close()
+                    return
         except ConnectionClosed:
             if view is not None:
                 self._worker_lost(view, "connection closed")
@@ -384,8 +418,13 @@ class JetsDispatcher:
             # Input staging rides the task connection (Coasters-style data
             # movement): the message carries the job's stage-in payload.
             yield view.socket.send(
-                ("run_task", job),
-                self.config.ctrl_msg_bytes + job.stage_in_bytes,
+                (wire.RUN_TASK, job),
+                wire.wire_size(
+                    wire.CHANNEL_JETS,
+                    wire.RUN_TASK,
+                    ctrl=self.config.ctrl_msg_bytes,
+                    extra=job.stage_in_bytes,
+                ),
             )
         except ConnectionClosed:
             self._serial_running.pop(job.job_id, None)
@@ -435,8 +474,13 @@ class JetsDispatcher:
                 try:
                     cmd = replace(cmd, stage_out_bytes=out_share)
                     yield view.socket.send(
-                        ("run_proxy", cmd, job.program),
-                        cfg.ctrl_msg_bytes + stage_share,
+                        (wire.RUN_PROXY, cmd, job.program),
+                        wire.wire_size(
+                            wire.CHANNEL_JETS,
+                            wire.RUN_PROXY,
+                            ctrl=cfg.ctrl_msg_bytes,
+                            extra=stage_share,
+                        ),
                     )
                     self.platform.trace.log(
                         "proxy.launched",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Generator, Optional
 
+from ..analysis import protocol as wire
 from ..cluster.node import Node
 from ..cluster.platform import Platform
 from ..mpi.app import RankContext
@@ -50,6 +51,9 @@ class WorkerAgent:
             serial work; MPI jobs always claim the whole worker).
         staging: optional staging manager run before registration.
         heartbeat_interval: seconds between heartbeats (0 disables).
+        ready_delay: pause between ``register`` and the first ``ready``
+            (models slow slot bring-up; lets fault tests target the
+            registered-but-not-ready window).
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class WorkerAgent:
         slots: Optional[int] = None,
         staging: Optional[StagingManager] = None,
         heartbeat_interval: float = 5.0,
+        ready_delay: float = 0.0,
     ):
         self.platform = platform
         self.env = platform.env
@@ -71,6 +76,7 @@ class WorkerAgent:
         self.slots = slots if slots is not None else node.n_cores
         self.staging = staging
         self.heartbeat_interval = heartbeat_interval
+        self.ready_delay = ready_delay
         self.tasks_run = 0
         self._sock: Optional[Socket] = None
         self._children: list[Process] = []
@@ -114,42 +120,71 @@ class WorkerAgent:
                 "worker.start", {"worker": self.worker_id, "node": self.node.node_id}
             )
             yield self._sock.send(
-                ("register", self.worker_id, self.node.node_id, self.slots),
-                256,
+                (wire.REGISTER, self.worker_id, self.node.node_id, self.slots),
+                wire.wire_size(wire.CHANNEL_JETS, wire.REGISTER),
             )
+            if self.ready_delay > 0:
+                yield self.env.timeout(self.ready_delay)
             for _ in range(self.slots):
-                yield self._sock.send(("ready", self.worker_id), 64)
+                yield self._sock.send(
+                    (wire.READY, self.worker_id),
+                    wire.wire_size(wire.CHANNEL_JETS, wire.READY),
+                )
             if self.heartbeat_interval > 0:
                 hb = self.env.process(self._heartbeat(), name="hb")
             while True:
                 msg = yield self._sock.recv()
                 kind = msg.payload[0]
-                if kind == "shutdown":
+                if kind == wire.SHUTDOWN:
                     break
-                elif kind == "run_proxy":
+                elif kind == wire.RUN_PROXY:
                     _, cmd, program = msg.payload
                     self._spawn(self._run_mpi(cmd, program))
-                elif kind == "run_task":
+                elif kind == wire.RUN_TASK:
                     _, job = msg.payload
                     self._spawn(self._run_serial(job))
-                else:  # pragma: no cover - protocol guard
-                    raise RuntimeError(f"worker: unknown message {kind!r}")
+                else:
+                    # A malformed dispatcher message must not surface as
+                    # an unhandled raise that poisons the whole sim: die
+                    # cleanly, exactly like a kill.
+                    self.platform.trace.log(
+                        "protocol.error",
+                        {
+                            "channel": wire.CHANNEL_JETS,
+                            "kind": str(kind),
+                            "worker": self.worker_id,
+                            "detail": "unknown message kind from dispatcher",
+                        },
+                    )
+                    self.platform.trace.log(
+                        "worker.killed",
+                        {
+                            "worker": self.worker_id,
+                            "cause": f"protocol error: unknown message "
+                                     f"{kind!r}",
+                        },
+                    )
+                    self._abandon_children("protocol error")
+                    break
         except (Interrupt, ConnectionClosed) as exc:
             self.platform.trace.log(
                 "worker.killed",
                 {"worker": self.worker_id, "cause": str(exc)},
             )
-            for child in self._children:
-                if child.is_alive:
-                    try:
-                        child.interrupt("worker killed")
-                    except Exception:
-                        pass
+            self._abandon_children("worker killed")
         finally:
             self._alive = False
             if self._sock is not None:
                 self._sock.close()
             self.platform.trace.log("worker.stop", {"worker": self.worker_id})
+
+    def _abandon_children(self, cause: str) -> None:
+        for child in self._children:
+            if child.is_alive:
+                try:
+                    child.interrupt(cause)
+                except Exception:
+                    pass
 
     def _spawn(self, gen: Generator) -> None:
         proc = self.env.process(gen, name=f"w{self.worker_id}-task")
@@ -163,7 +198,10 @@ class WorkerAgent:
                 yield self.env.timeout(self.heartbeat_interval)
                 if self._sock.closed:
                     break
-                yield self._sock.send(("heartbeat", self.worker_id), 32)
+                yield self._sock.send(
+                    (wire.HEARTBEAT, self.worker_id),
+                    wire.wire_size(wire.CHANNEL_JETS, wire.HEARTBEAT),
+                )
         except (ConnectionClosed, Interrupt):
             pass
 
@@ -234,10 +272,17 @@ class WorkerAgent:
             return
         try:
             yield self._sock.send(
-                ("done", self.worker_id, job_id, status, value),
-                128 + extra_bytes,
+                (wire.DONE, self.worker_id, job_id, status, value),
+                wire.wire_size(
+                    wire.CHANNEL_JETS, wire.DONE, extra=extra_bytes
+                ),
             )
-            kind = "ready_all" if whole_node else "ready"
-            yield self._sock.send((kind, self.worker_id), 64)
+            yield self._sock.send(
+                (wire.READY_ALL if whole_node else wire.READY, self.worker_id),
+                wire.wire_size(
+                    wire.CHANNEL_JETS,
+                    wire.READY_ALL if whole_node else wire.READY,
+                ),
+            )
         except ConnectionClosed:
             pass

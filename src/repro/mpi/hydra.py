@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from ..analysis import protocol as wire
 from ..cluster.node import Node
 from ..cluster.platform import Platform
 from ..netsim.sockets import ConnectionClosed, Socket
@@ -207,7 +208,7 @@ class MpiexecController:
         """Ask the controller to tear the job down (e.g. JETS detected a
         dead worker before the socket noticed)."""
         self._external_abort = True
-        self._queue.put((-1, ("external_abort", reason)))
+        self._queue.put((-1, (wire.EXTERNAL_ABORT, reason)))
 
     # -- internals -----------------------------------------------------------
 
@@ -217,7 +218,7 @@ class MpiexecController:
                 msg = yield sock.recv()
                 self._queue.put((proxy_id, msg.payload))
         except ConnectionClosed:
-            self._queue.put((proxy_id, ("closed",)))
+            self._queue.put((proxy_id, (wire.CLOSED,)))
 
     def _accept_loop(self, n: int) -> Generator:
         accepted = 0
@@ -234,11 +235,20 @@ class MpiexecController:
         try:
             msg = yield sock.recv()
         except ConnectionClosed:
-            self._queue.put((-1, ("closed",)))
+            self._queue.put((-1, (wire.CLOSED,)))
             return
         kind, proxy_id = msg.payload[0], msg.payload[1]
-        if kind != "register":
-            self._queue.put((proxy_id, ("protocol_error", msg.payload)))
+        if kind != wire.REGISTER:
+            self.platform.trace.log(
+                "protocol.error",
+                {
+                    "channel": wire.CHANNEL_HYDRA,
+                    "kind": str(kind),
+                    "job": self.job_id,
+                    "detail": "first proxy message must be register",
+                },
+            )
+            self._queue.put((proxy_id, (wire.PROTOCOL_ERROR, msg.payload)))
             return
         self._sockets[proxy_id] = sock
         self._queue.put((proxy_id, msg.payload))
@@ -278,7 +288,7 @@ class MpiexecController:
             if cfg.msg_cost:
                 yield env.timeout(cfg.msg_cost)
 
-            if kind == "register":
+            if kind == wire.REGISTER:
                 registered += 1
                 self.platform.trace.log(
                     "proxy.registered",
@@ -293,8 +303,15 @@ class MpiexecController:
                         "job.pmi_wireup", {"job": self.job_id}
                     )
                     for sock in self._sockets.values():
-                        yield sock.send(("start",), cfg.ctrl_msg_bytes)
-            elif kind == "pmi_put":
+                        yield sock.send(
+                            (wire.START,),
+                            wire.wire_size(
+                                wire.CHANNEL_HYDRA,
+                                wire.START,
+                                ctrl=cfg.ctrl_msg_bytes,
+                            ),
+                        )
+            elif kind == wire.PMI_PUT:
                 _, rank, key, value = payload
                 self.kvs.put(rank, key, value)
                 puts += 1
@@ -310,8 +327,15 @@ class MpiexecController:
                             "proxy.wired",
                             {"job": self.job_id, "proxy": wired_pid},
                         )
-                        yield sock.send(("commit", comm), commit_bytes)
-            elif kind == "exit":
+                        yield sock.send(
+                            (wire.COMMIT, comm),
+                            wire.wire_size(
+                                wire.CHANNEL_HYDRA,
+                                wire.COMMIT,
+                                extra=commit_bytes,
+                            ),
+                        )
+            elif kind == wire.EXIT:
                 _, _pid, status, value = payload
                 exits += 1
                 exited.add(pid)
@@ -324,16 +348,16 @@ class MpiexecController:
                 if value is not None:
                     rank0_value = value
                 t_app_end = env.now
-            elif kind == "closed":
+            elif kind == wire.CLOSED:
                 if pid in exited:
                     continue  # normal close after exit
                 if failed is None:
                     failed = f"lost connection to proxy {pid}"
                 break
-            elif kind == "external_abort":
+            elif kind == wire.EXTERNAL_ABORT:
                 failed = failed or payload[1]
                 break
-            elif kind == "protocol_error":
+            elif kind == wire.PROTOCOL_ERROR:
                 failed = failed or f"protocol error from {pid}: {payload[1]}"
                 break
 
@@ -344,7 +368,14 @@ class MpiexecController:
             for pid, sock in self._sockets.items():
                 if not sock.closed:
                     try:
-                        yield sock.send(("abort",), cfg.ctrl_msg_bytes)
+                        yield sock.send(
+                            (wire.ABORT,),
+                            wire.wire_size(
+                                wire.CHANNEL_HYDRA,
+                                wire.ABORT,
+                                ctrl=cfg.ctrl_msg_bytes,
+                            ),
+                        )
                     except ConnectionClosed:
                         pass
 
@@ -404,7 +435,6 @@ def run_proxy(
     the socket, which mpiexec observes as a job failure.
     """
     env = platform.env
-    cfg_bytes = 512
     sock: Optional[Socket] = None
     rank_procs: list = []
     status = 0
@@ -412,12 +442,15 @@ def run_proxy(
         sock = yield from platform.network.connect(
             node.endpoint, cmd.mpiexec_endpoint, cmd.service
         )
-        yield sock.send(("register", cmd.proxy_id), cfg_bytes)
+        yield sock.send(
+            (wire.REGISTER, cmd.proxy_id),
+            wire.wire_size(wire.CHANNEL_HYDRA, wire.REGISTER),
+        )
         msg = yield sock.recv()
-        if msg.payload[0] == "abort":
+        if msg.payload[0] == wire.ABORT:
             sock.close()
             return 1
-        assert msg.payload[0] == "start", msg.payload
+        assert msg.payload[0] == wire.START, msg.payload
 
         # Fork user ranks; each is a core-claiming process on this node.
         ready_events: dict[int, Event] = {}
@@ -464,18 +497,19 @@ def run_proxy(
         for rank in cmd.ranks:
             yield ready_events[rank]
             yield sock.send(
-                ("pmi_put", rank, f"addr-{rank}", node.endpoint), 256
+                (wire.PMI_PUT, rank, f"addr-{rank}", node.endpoint),
+                wire.wire_size(wire.CHANNEL_HYDRA, wire.PMI_PUT),
             )
 
         # Wait for the KVS commit (or an abort).
         msg = yield sock.recv()
-        if msg.payload[0] == "abort":
+        if msg.payload[0] == wire.ABORT:
             for rank in cmd.ranks:
                 go_events[rank].succeed(None)
             yield env.all_of(rank_procs)
             sock.close()
             return 1
-        assert msg.payload[0] == "commit", msg.payload
+        assert msg.payload[0] == wire.COMMIT, msg.payload
         comm = msg.payload[1]
 
         for rank in cmd.ranks:
@@ -494,7 +528,10 @@ def run_proxy(
             status = 1
 
         value = results.get(0) if 0 in cmd.ranks else None
-        yield sock.send(("exit", cmd.proxy_id, status, value), cfg_bytes)
+        yield sock.send(
+            (wire.EXIT, cmd.proxy_id, status, value),
+            wire.wire_size(wire.CHANNEL_HYDRA, wire.EXIT),
+        )
         sock.close()
         return status
     except (Interrupt, MpiAbort):

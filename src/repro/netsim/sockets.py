@@ -17,12 +17,38 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
 
 from ..simkernel import Environment, Event, Store
 from .fabric import Fabric
 
-__all__ = ["Network", "Listener", "Socket", "ConnectionClosed", "Message"]
+__all__ = [
+    "Network",
+    "Listener",
+    "Socket",
+    "ConnectionClosed",
+    "Message",
+    "WireEvent",
+]
+
+
+@dataclass(frozen=True)
+class WireEvent:
+    """One observed :meth:`Socket.send`, reported to network taps.
+
+    Taps (``Network.add_tap``) see every send in global send order; the
+    protocol conformance validator replays these against the registry's
+    session machines after each explored schedule.
+    """
+
+    time: float
+    service: str
+    conn_id: int
+    sender: str
+    payload: Any
+    nbytes: int
 
 
 class ConnectionClosed(Exception):
@@ -48,14 +74,32 @@ _CLOSE = object()
 class Socket:
     """One end of an established connection."""
 
-    def __init__(self, network: "Network", local: int, remote: int):
+    def __init__(
+        self,
+        network: "Network",
+        local: int,
+        remote: int,
+        service: str = "",
+        conn_id: int = -1,
+        role: str = "",
+    ):
         self._network = network
         self.local = local
         self.remote = remote
+        #: Service name this connection was established under.
+        self.service = service
+        #: Network-wide connection id (both ends share it).
+        self.conn_id = conn_id
+        #: Which end this is: "client" (connector) or "server" (acceptor).
+        self.role = role
         self._inbox: Store = Store(network.env)
         self._peer: Optional["Socket"] = None
         self._closed = False
         self._last_arrival = 0.0
+        # In-flight items in send order; delivery callbacks pop the head,
+        # so per-direction FIFO holds even when same-time deliveries are
+        # permuted by a non-default kernel SchedulingOrder.
+        self._pending: deque = deque()
 
     @property
     def closed(self) -> bool:
@@ -75,19 +119,28 @@ class Socket:
             ev._defused = False
             return ev
         env = self._network.env
+        self._network._notify_taps(self, payload, nbytes)
         t = self._network.fabric.transfer_time(self.local, self.remote, nbytes)
         arrival = max(env.now + t, self._peer._last_arrival)
         self._peer._last_arrival = arrival
         peer = self._peer
-        msg = Message(payload, nbytes)
+        peer._pending.append(Message(payload, nbytes))
         deliver = env.timeout(arrival - env.now)
-        deliver._add_callback(lambda _e: peer._deliver(msg))
+        deliver._add_callback(lambda _e: peer._deliver_next())
         # Sender-side completion: software overhead only.
         return env.timeout(self._network.fabric.spec.sw_overhead)
 
-    def _deliver(self, msg: Any) -> None:
-        if not self._closed:
-            self._inbox.put(msg)
+    def _deliver_next(self) -> None:
+        # One callback per queued item: popping the head preserves send
+        # order under any tie permutation of the delivery timeouts.
+        item = self._pending.popleft()
+        if self._closed:
+            return
+        if item is _CLOSE:
+            self._closed = True
+            self._inbox.put(_CLOSE)
+        else:
+            self._inbox.put(item)
 
     def recv(self) -> Event:
         """Event yielding the next :class:`Message` from the peer."""
@@ -114,19 +167,17 @@ class Socket:
             return
         self._closed = True
         if self._peer is not None and not self._peer._closed:
-            # Notify peer in-band so already-delivered messages drain first.
+            # Notify peer in-band — through the same pending queue as data
+            # messages — so already-sent messages drain first even when a
+            # schedule permutation makes the close arrive at a tied time.
             env = self._network.env
             t = self._network.fabric.transfer_time(self.local, self.remote, 0)
             peer = self._peer
             arrival = max(env.now + t, peer._last_arrival)
             peer._last_arrival = arrival
+            peer._pending.append(_CLOSE)
             deliver = env.timeout(arrival - env.now)
-
-            def notify(_e: Event) -> None:
-                peer._closed = True
-                peer._inbox.put(_CLOSE)
-
-            deliver._add_callback(notify)
+            deliver._add_callback(lambda _e: peer._deliver_next())
 
     def __repr__(self) -> str:
         return f"<Socket {self.local}->{self.remote}>"
@@ -158,6 +209,26 @@ class Network:
         self.env = env
         self.fabric = fabric
         self._listeners: dict[tuple[int, str], Listener] = {}
+        self._conn_seq = 0
+        self._taps: list[Callable[[WireEvent], None]] = []
+
+    def add_tap(self, tap: Callable[[WireEvent], None]) -> None:
+        """Observe every send as a :class:`WireEvent` (protocol checking)."""
+        self._taps.append(tap)
+
+    def _notify_taps(self, sock: "Socket", payload: Any, nbytes: int) -> None:
+        if not self._taps:
+            return
+        event = WireEvent(
+            time=self.env.now,
+            service=sock.service,
+            conn_id=sock.conn_id,
+            sender=sock.role,
+            payload=payload,
+            nbytes=int(nbytes),
+        )
+        for tap in self._taps:
+            tap(event)
 
     def listen(self, endpoint: int, service: str) -> Listener:
         """Bind a listener at ``(endpoint, service)``."""
@@ -185,8 +256,10 @@ class Network:
         listener = self._listeners.get(addr)
         if listener is None or not listener._open:
             raise ConnectionClosed(f"connection refused: {addr}")
-        client = Socket(self, src, endpoint)
-        server = Socket(self, endpoint, src)
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        client = Socket(self, src, endpoint, service, conn_id, "client")
+        server = Socket(self, endpoint, src, service, conn_id, "server")
         client._peer = server
         server._peer = client
         listener._backlog.put(server)

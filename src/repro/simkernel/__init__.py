@@ -15,6 +15,8 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    SchedulingOrder,
+    SeededOrder,
     SimulationError,
     Timeout,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "Request",
     "Resource",
     "RngRegistry",
+    "SchedulingOrder",
+    "SeededOrder",
     "SimulationError",
     "Store",
     "Timeout",

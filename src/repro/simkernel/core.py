@@ -5,9 +5,15 @@ Every other subsystem in this reproduction (cluster nodes, network fabric,
 the JETS dispatcher, MPI bootstrap, the Swift dataflow engine) is expressed
 as :class:`Process` coroutines scheduled by an :class:`Environment`.
 
-Determinism: events are ordered by ``(time, priority, sequence)`` where the
-sequence number is a monotonically increasing counter, so two runs with the
-same seed produce identical traces.
+Determinism: events are ordered by ``(time, priority, tiebreak, sequence)``
+where the sequence number is a monotonically increasing counter, so two
+runs with the same seed produce identical traces.  The ``tiebreak`` term is
+0.0 by default (pure FIFO among same-time, same-priority events — the
+historical ordering, bit-identical to older kernels); a pluggable
+:class:`SchedulingOrder` may perturb it to systematically explore
+alternative legal schedules (``jets explore``), exactly because any
+ordering of simultaneous events is a schedule the real system could
+exhibit.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Interrupt",
+    "SchedulingOrder",
+    "SeededOrder",
     "SimulationError",
     "PENDING",
     "URGENT",
@@ -303,6 +311,52 @@ class AnyOf(Condition):
         super().__init__(env, events, lambda evs, count: count >= 1)
 
 
+class SchedulingOrder:
+    """Policy for ordering simultaneous same-priority events.
+
+    The scheduler pops ``(time, priority, tiebreak, seq)``; the default
+    order returns a constant 0.0 tiebreak, reducing the key to the
+    historical ``(time, priority, seq)`` FIFO — existing runs stay
+    bit-identical.  Subclasses return other tiebreaks to permute ties:
+    every permutation is a schedule the real (asynchronous) system could
+    exhibit, which is what the bounded schedule explorer leans on.
+    """
+
+    def tiebreak(self, event: "Event") -> float:
+        """Tiebreak key for one newly scheduled event (lower pops first)."""
+        return 0.0
+
+
+class SeededOrder(SchedulingOrder):
+    """Deterministic pseudo-random tie permutation.
+
+    Draws each tiebreak from an inline xorshift64* stream so the kernel
+    needs no RNG dependency and two runs with the same seed replay the
+    same schedule exactly.  Seed 0 is reserved for the FIFO baseline.
+    """
+
+    _MASK = (1 << 64) - 1
+    _MIX = 0x2545F4914F6CDD1D
+    _GOLDEN = 0x9E3779B97F4A7C15
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        if self.seed == 0:
+            self._state = None  # FIFO baseline: constant tiebreak
+        else:
+            self._state = (self.seed ^ self._GOLDEN) & self._MASK or self._MIX
+
+    def tiebreak(self, event: "Event") -> float:
+        if self._state is None:
+            return 0.0
+        x = self._state
+        x ^= x >> 12
+        x = (x ^ (x << 25)) & self._MASK
+        x ^= x >> 27
+        self._state = x or self._GOLDEN
+        return ((x * self._MIX) & self._MASK) / float(1 << 64)
+
+
 class Environment:
     """The simulation clock and event scheduler.
 
@@ -319,10 +373,15 @@ class Environment:
         assert p.value == 5.0
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        order: Optional[SchedulingOrder] = None,
+    ):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, float, int, Event]] = []
         self._seq = 0
+        self._order = order
         self._active_process: Optional[Process] = None
         self._active_generator: Optional[Generator] = None
 
@@ -362,7 +421,11 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        tiebreak = 0.0 if self._order is None else self._order.tiebreak(event)
+        heapq.heappush(
+            self._heap,
+            (self._now + delay, priority, tiebreak, self._seq, event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -372,7 +435,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._heap:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _tie, _seq, event = heapq.heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -1,0 +1,43 @@
+"""Lint fixture: seeded protocol arity/size violations (PR002, PR005).
+
+Loaded as *text* by the analysis tests — never imported.  Each violation
+line carries a ``MARK:`` comment the tests use to locate it.  The send
+and handle kind sets are kept identical so the standalone PR003/PR004
+closed-world checks stay quiet.
+"""
+
+from repro.analysis import protocol as wire
+
+
+class BadSender:
+    def __init__(self, sock, ctrl):
+        self.sock = sock
+        self.ctrl = ctrl
+
+    def ok_send(self):
+        yield self.sock.send(
+            (wire.READY, 7), wire.wire_size(wire.CHANNEL_JETS, wire.READY)
+        )
+
+    def short_done(self):
+        yield self.sock.send((wire.DONE, 7, "job0"), wire.wire_size(wire.CHANNEL_JETS, wire.DONE))  # MARK: PR002-send
+
+    def hard_coded_size(self):
+        yield self.sock.send((wire.HEARTBEAT, 7), 32)  # MARK: PR005-hardcoded
+
+    def missing_size(self):
+        yield self.sock.send((wire.DONE, 7, "job0", 0, None))  # MARK: PR005-missing
+
+    def size_of_other_kind(self):
+        yield self.sock.send((wire.READY, 7), wire.wire_size(wire.CHANNEL_JETS, wire.HEARTBEAT))  # MARK: PR005-kind
+
+
+class BadReceiver:
+    def handle(self, msg):
+        kind = msg.payload[0]
+        if kind == wire.DONE:
+            _, worker, job = msg.payload  # MARK: PR002-unpack
+        elif kind == wire.READY:
+            _, worker = msg.payload
+        elif kind == wire.HEARTBEAT:
+            pass

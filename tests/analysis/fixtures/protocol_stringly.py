@@ -1,0 +1,29 @@
+"""Lint fixture: seeded stringly-typed message kinds (PR006).
+
+Loaded as *text* by the analysis tests — never imported.  Everything is
+protocol-consistent except that known kinds are spelled as raw string
+literals instead of the registry constants.
+"""
+
+from repro.analysis import protocol as wire
+
+
+class StringlySender:
+    def __init__(self, sock):
+        self.sock = sock
+
+    def ok(self):
+        yield self.sock.send(
+            (wire.HEARTBEAT, 1),
+            wire.wire_size(wire.CHANNEL_JETS, wire.HEARTBEAT),
+        )
+
+    def raw_head(self):
+        yield self.sock.send(("heartbeat", 1), wire.wire_size(wire.CHANNEL_JETS, wire.HEARTBEAT))  # MARK: PR006-send
+
+
+class StringlyReceiver:
+    def handle(self, msg):
+        if msg.payload[0] == "heartbeat":  # MARK: PR006-compare
+            return True
+        return False

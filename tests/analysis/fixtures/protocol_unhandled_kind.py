@@ -1,0 +1,36 @@
+"""Lint fixture: seeded one-sided protocol vocabulary (PR001, PR003, PR004).
+
+Loaded as *text* by the analysis tests — never imported.  The module
+models both sides of a private channel (sends *and* handle sites), so
+the closed-world rules judge it standalone.
+"""
+
+from repro.analysis import protocol as wire
+
+
+class OneSidedSender:
+    def __init__(self, sock):
+        self.sock = sock
+
+    def announce(self):
+        yield self.sock.send(
+            (wire.READY, 3), wire.wire_size(wire.CHANNEL_JETS, wire.READY)
+        )
+
+    def report(self):
+        yield self.sock.send((wire.DONE, 3, "job0", 0, None), wire.wire_size(wire.CHANNEL_JETS, wire.DONE))  # MARK: PR003
+
+    def misspelled(self):
+        yield self.sock.send(("redy", 3), 64)  # MARK: PR001-send
+
+
+class OneSidedReceiver:
+    def handle(self, msg):
+        kind = msg.payload[0]
+        if kind == wire.READY:
+            return True
+        if kind == "redy":  # MARK: PR001-compare
+            return True
+        if kind == wire.SHUTDOWN:  # MARK: PR004
+            return False
+        return False

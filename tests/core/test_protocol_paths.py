@@ -1,0 +1,210 @@
+"""Protocol fault paths: malformed messages, loss windows, size discipline.
+
+Covers the hardened endpoint behaviour: an unknown message kind tears
+down exactly one worker (never the dispatcher event loop), workers die
+cleanly on malformed dispatcher traffic, and every send size flows
+through the protocol registry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.explore import wire_messages
+from repro.analysis.protocol import validate_sessions
+from repro.analysis.tracecheck import validate_trace
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.dispatcher import JetsDispatcher, JetsServiceConfig
+from repro.core.tasklist import JobSpec
+from repro.core.worker import WorkerAgent
+
+
+def start_stack(nodes=4, heartbeat=1.0, ready_delay=0.0, ctrl=None):
+    platform = Platform(generic_cluster(nodes=nodes, cores_per_node=2))
+    kwargs = {"heartbeat_interval": heartbeat}
+    if ctrl is not None:
+        kwargs["ctrl_msg_bytes"] = ctrl
+    dispatcher = JetsDispatcher(
+        platform, JetsServiceConfig(**kwargs), expected_workers=nodes
+    )
+    dispatcher.start()
+    agents = []
+    for i, node in enumerate(platform.nodes):
+        agents.append(
+            WorkerAgent(
+                platform,
+                node,
+                dispatcher.endpoint,
+                heartbeat_interval=heartbeat,
+                ready_delay=ready_delay if i == 0 else 0.0,
+            )
+        )
+    for a in agents:
+        a.start()
+    return platform, dispatcher, agents
+
+
+def serial_jobs(n, duration=0.5):
+    return [
+        JobSpec(program=SleepProgram(duration), nodes=1, mpi=False,
+                max_attempts=5)
+        for _ in range(n)
+    ]
+
+
+class TestLossWindows:
+    def test_worker_dies_between_register_and_first_ready(self):
+        platform, dispatcher, agents = start_stack(ready_delay=2.0)
+        tapped = []
+        platform.network.add_tap(tapped.append)
+
+        def killer():
+            # Agent 0 holds its readies back for 2s; kill it inside the
+            # registered-but-not-ready window.
+            yield platform.env.timeout(1.0)
+            assert agents[0].alive
+            agents[0].kill()
+
+        platform.env.process(killer())
+        platform.env.run(until=1.5)
+        lost = platform.trace.select("worker.lost")
+        assert [r.data["worker"] for r in lost] == [agents[0].worker_id]
+
+        # The aggregator dropped the half-registered worker: the batch
+        # drains entirely on the survivors.
+        dispatcher.submit_many(serial_jobs(4))
+        platform.env.run(dispatcher.drained)
+
+        lost = platform.trace.select("worker.lost")
+        assert any(r.data["worker"] == agents[0].worker_id for r in lost)
+        assert dispatcher.jobs_finished == 4
+        assert all(c.ok for c in dispatcher.completed)
+        assert validate_trace(platform.trace) == []
+        # The truncated register-only session is protocol-legal.
+        assert validate_sessions(wire_messages(tapped)) == []
+
+    def test_worker_loss_mid_run_proxy(self):
+        platform, dispatcher, agents = start_stack()
+        tapped = []
+        platform.network.add_tap(tapped.append)
+        done = dispatcher.submit(
+            JobSpec(
+                program=BarrierSleepBarrier(3.0),
+                nodes=2,
+                ppn=2,
+                mpi=True,
+                max_attempts=5,
+            )
+        )
+
+        def killer():
+            # Wait for the proxies to be dispatched, then kill one of the
+            # workers the job landed on while PMI wire-up is in flight.
+            while not platform.trace.select("job.mpiexec_spawned"):
+                yield platform.env.timeout(0.001)
+            victims = [
+                a
+                for a in agents
+                if a.alive
+                and (v := dispatcher.aggregator.get(a.worker_id)) is not None
+                and v.running_jobs
+            ]
+            assert victims
+            victims[0].kill()
+
+        platform.env.process(killer())
+        completed = platform.env.run(done)
+        assert completed.ok  # resubmitted onto the survivors
+        assert platform.trace.select("job.retry")
+        assert validate_trace(platform.trace) == []
+        assert validate_sessions(wire_messages(tapped)) == []
+
+
+class TestMalformedMessages:
+    def test_unknown_kind_from_worker_isolates_that_worker(self):
+        platform, dispatcher, agents = start_stack(nodes=3)
+        tapped = []
+        platform.network.add_tap(tapped.append)
+
+        def saboteur():
+            yield platform.env.timeout(1.0)
+            yield agents[0]._sock.send(("bogus", agents[0].worker_id), 64)
+
+        platform.env.process(saboteur())
+        platform.env.run(until=4.0)
+
+        errors = platform.trace.select("protocol.error")
+        assert len(errors) == 1
+        assert errors[0].data["kind"] == "bogus"
+        assert errors[0].data["detail"] == "unknown message kind from worker"
+        lost = platform.trace.select("worker.lost")
+        assert [r.data["worker"] for r in lost] == [agents[0].worker_id]
+        # The offender died cleanly; the event loop kept serving.
+        assert not agents[0].alive
+
+        dispatcher.submit_many(serial_jobs(3))
+        platform.env.run(dispatcher.drained)
+        assert all(c.ok for c in dispatcher.completed)
+        assert validate_trace(platform.trace) == []
+        # The runtime checker sees the seeded violation on the wire.
+        problems = validate_sessions(wire_messages(tapped))
+        assert any("bogus" in p for p in problems)
+
+    def test_unknown_kind_from_dispatcher_kills_worker_cleanly(self):
+        platform, dispatcher, agents = start_stack(nodes=3)
+
+        def saboteur():
+            yield platform.env.timeout(1.0)
+            view = dispatcher.aggregator.get(agents[1].worker_id)
+            yield view.socket.send(("mystery",), 64)
+
+        platform.env.process(saboteur())
+        platform.env.run(until=4.0)
+
+        errors = platform.trace.select("protocol.error")
+        assert len(errors) == 1
+        assert errors[0].data["detail"] == (
+            "unknown message kind from dispatcher"
+        )
+        killed = platform.trace.select("worker.killed")
+        assert len(killed) == 1
+        assert killed[0].data["worker"] == agents[1].worker_id
+        assert "protocol error" in killed[0].data["cause"]
+        assert not agents[1].alive
+
+        dispatcher.submit_many(serial_jobs(2))
+        platform.env.run(dispatcher.drained)
+        assert all(c.ok for c in dispatcher.completed)
+        assert validate_trace(platform.trace) == []
+
+
+class TestSizeDiscipline:
+    def test_shutdown_size_follows_ctrl_msg_bytes(self):
+        platform, dispatcher, agents = start_stack(nodes=2, ctrl=2048)
+        tapped = []
+        platform.network.add_tap(tapped.append)
+        dispatcher.submit_many(serial_jobs(2))
+        platform.env.run(dispatcher.drained)
+        platform.env.process(dispatcher.shutdown_workers())
+        platform.env.run(until=platform.env.now + 2.0)
+
+        shutdowns = [e for e in tapped if e.payload[0] == "shutdown"]
+        assert len(shutdowns) == 2
+        assert all(e.nbytes == 2048 for e in shutdowns)
+
+    def test_run_task_size_includes_staging_payload(self):
+        platform, dispatcher, agents = start_stack(nodes=2)
+        tapped = []
+        platform.network.add_tap(tapped.append)
+        job = JobSpec(
+            program=SleepProgram(0.2),
+            nodes=1,
+            mpi=False,
+            stage_in_bytes=10_000,
+        )
+        platform.env.run(dispatcher.submit(job))
+
+        runs = [e for e in tapped if e.payload[0] == "run_task"]
+        assert len(runs) == 1
+        ctrl = dispatcher.config.ctrl_msg_bytes
+        assert runs[0].nbytes == ctrl + 10_000
