@@ -108,9 +108,10 @@ JOB_MACHINE = StateMachine(
     ),
     initial=frozenset({"submitted"}),
     transitions=_graph(
-        # Oversized jobs fail synchronously at submit.
+        # Oversized jobs fail synchronously at submit; a dispatcher
+        # shutdown drains still-queued jobs into permanent failures.
         submitted=("queued", "failed"),
-        queued=("grouped",),
+        queued=("grouped", "failed"),
         # Serial jobs jump straight to app_running; either shape can die
         # at dispatch (worker lost) and be resubmitted.
         grouped=("mpiexec_spawned", "app_running", "resubmitted"),
@@ -171,7 +172,14 @@ WORKER_MACHINE = StateMachine(
         busy=("idle", "heartbeat_missed", "killed", "stopped", "lost"),
         heartbeat_missed=("lost", "killed", "stopped"),
         killed=("stopped", "lost"),
-        stopped=("lost",),
+        # stopped -> dispatcher-side states: observer lag.  Under message
+        # delay/drop faults the pilot's own terminal ``stop`` can precede
+        # in-flight observations of it — a delayed REGISTER delivered
+        # after death (-> registered), a late READY/DONE credit
+        # (-> idle), a dispatch to a worker whose dropped close the
+        # dispatcher never saw (-> busy), or the health monitor noticing
+        # the silence (-> heartbeat_missed -> lost).
+        stopped=("lost", "registered", "idle", "busy", "heartbeat_missed"),
         lost=("killed", "stopped"),
     ),
     events={

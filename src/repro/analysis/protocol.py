@@ -57,6 +57,7 @@ __all__ = [
     "DONE",
     "RUN_TASK",
     "RUN_PROXY",
+    "CANCEL",
     "SHUTDOWN",
     "START",
     "PMI_PUT",
@@ -84,6 +85,7 @@ HEARTBEAT = "heartbeat"
 DONE = "done"
 RUN_TASK = "run_task"
 RUN_PROXY = "run_proxy"
+CANCEL = "cancel"
 SHUTDOWN = "shutdown"
 START = "start"
 PMI_PUT = "pmi_put"
@@ -105,6 +107,7 @@ KIND_CONSTANTS: dict[str, str] = {
     "DONE": DONE,
     "RUN_TASK": RUN_TASK,
     "RUN_PROXY": RUN_PROXY,
+    "CANCEL": CANCEL,
     "SHUTDOWN": SHUTDOWN,
     "START": START,
     "PMI_PUT": PMI_PUT,
@@ -184,6 +187,8 @@ CHANNELS: dict[str, dict[str, MessageSpec]] = {
                  ("job",), base=None, variable=True),
             _msg(RUN_PROXY, CHANNEL_JETS, "dispatcher", "worker",
                  ("command", "program"), base=None, variable=True),
+            _msg(CANCEL, CHANNEL_JETS, "dispatcher", "worker",
+                 ("job", "mpi"), base=None),
             _msg(SHUTDOWN, CHANNEL_JETS, "dispatcher", "worker",
                  (), base=None),
         )
@@ -295,9 +300,13 @@ def _graph(**edges: tuple[str, ...]):
 
 
 #: One worker⇄dispatcher connection: ``register`` first and exactly once,
-#: nothing dispatched before a ``ready`` credit, silence after
-#: ``shutdown``.  ``heartbeat`` carries no session state.  A session may
-#: truncate anywhere (worker loss) — only illegal *transitions* are
+#: nothing dispatched before a ``ready`` credit.  ``heartbeat`` and
+#: ``cancel`` carry no session state (a cancel's effect shows up as the
+#: worker's own ``done``/``ready`` response, which restores the credit the
+#: original dispatch consumed).  After ``shutdown`` a worker may still
+#: flush completions for in-flight work (``done``/``ready`` crossing the
+#: shutdown on the wire), but nothing new may be dispatched.  A session
+#: may truncate anywhere (worker loss) — only illegal *transitions* are
 #: violations, never incompleteness.
 JETS_SESSION = StateMachine(
     entity="jets-session",
@@ -308,7 +317,7 @@ JETS_SESSION = StateMachine(
         ready=("ready", "dispatched", "done", "shutdown"),
         dispatched=("dispatched", "ready", "done", "shutdown"),
         done=("done", "ready", "dispatched", "shutdown"),
-        shutdown=(),
+        shutdown=("done", "ready"),
     ),
     events={
         REGISTER: "registered",
@@ -319,7 +328,7 @@ JETS_SESSION = StateMachine(
         DONE: "done",
         SHUTDOWN: "shutdown",
     },
-    ignored_events=frozenset({HEARTBEAT}),
+    ignored_events=frozenset({HEARTBEAT, CANCEL}),
     id_key="conn",
 )
 
@@ -336,7 +345,11 @@ HYDRA_SESSION = StateMachine(
         started=("wiring", "aborted"),
         wiring=("wiring", "committed", "aborted"),
         committed=("exited", "aborted"),
-        aborted=("exited", "aborted"),
+        # aborted -> wiring: sessions are replayed in send order, and a
+        # proxy keeps forwarding PMI puts until mpiexec's ABORT (already
+        # in flight, possibly delayed by an injected net fault) reaches
+        # it — the same crossing-traffic allowance as abort/exit.
+        aborted=("exited", "aborted", "wiring"),
         exited=("aborted",),
     ),
     events={

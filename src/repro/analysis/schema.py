@@ -36,6 +36,21 @@ __all__ = [
     "ALLOCATION_START",
     "ALLOCATION_END",
     "FAULT_KILL",
+    "FAULT_PROXY_KILL",
+    "FAULT_STRAGGLER",
+    "FAULT_NET_DROP",
+    "FAULT_NET_DELAY",
+    "FAULT_PARTITION",
+    "FAULT_HEAL",
+    "FAULT_STAGING",
+    "RECOVER_BACKOFF",
+    "RECOVER_HUNG",
+    "RECOVER_GANG_TEARDOWN",
+    "RECOVER_RECONCILE",
+    "RECOVER_ZOMBIE",
+    "RECOVER_QUARANTINE",
+    "RECOVER_READMIT",
+    "RECOVER_RESPAWN",
     "DISPATCHER_REGISTER",
     "PROTOCOL_ERROR",
     "COASTERS_BLOCK_REQUESTED",
@@ -95,6 +110,21 @@ RUN_ALLOCATION = "run.allocation"
 ALLOCATION_START = "allocation.start"
 ALLOCATION_END = "allocation.end"
 FAULT_KILL = "fault.kill"
+FAULT_PROXY_KILL = "fault.proxy_kill"
+FAULT_STRAGGLER = "fault.straggler"
+FAULT_NET_DROP = "fault.net_drop"
+FAULT_NET_DELAY = "fault.net_delay"
+FAULT_PARTITION = "fault.partition"
+FAULT_HEAL = "fault.heal"
+FAULT_STAGING = "fault.staging"
+RECOVER_BACKOFF = "recover.backoff"
+RECOVER_HUNG = "recover.hung"
+RECOVER_GANG_TEARDOWN = "recover.gang_teardown"
+RECOVER_RECONCILE = "recover.reconcile"
+RECOVER_ZOMBIE = "recover.zombie"
+RECOVER_QUARANTINE = "recover.quarantine"
+RECOVER_READMIT = "recover.readmit"
+RECOVER_RESPAWN = "recover.respawn"
 DISPATCHER_REGISTER = "dispatcher.register"
 PROTOCOL_ERROR = "protocol.error"
 COASTERS_BLOCK_REQUESTED = "coasters.block_requested"
@@ -120,7 +150,7 @@ _JOB_EVENT_KEYS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "mpiexec_spawned": (("attempt",), ()),
     "pmi_wireup": ((), ()),
     "app_running": ((), ("worker", "serial")),
-    "retry": (("attempt", "error"), ()),
+    "retry": (("attempt", "error"), ("reason",)),
     "done": (
         ("attempt", "nodes", "ppn", "duration_hint", "nominal"),
         ("error", "app_start", "app_end"),
@@ -198,6 +228,90 @@ _STATIC_SPECS = [
         FAULT_KILL,
         required=("worker",),
         description="fault injector killed a pilot",
+    ),
+    _spec(
+        FAULT_PROXY_KILL,
+        required=("worker", "job"),
+        description="fault injector crashed a Hydra proxy mid-wire-up",
+    ),
+    _spec(
+        FAULT_STRAGGLER,
+        required=("node", "factor", "duration"),
+        description="fault injector rate-scaled a node's compute",
+    ),
+    _spec(
+        FAULT_NET_DROP,
+        required=("channel", "probability", "until"),
+        description="fault injector opened a lossy-link window",
+    ),
+    _spec(
+        FAULT_NET_DELAY,
+        required=("channel", "delay", "until"),
+        description="fault injector opened an added-latency window",
+    ),
+    _spec(
+        FAULT_PARTITION,
+        required=("nodes", "until"),
+        description="fault injector partitioned a node set off the fabric",
+    ),
+    _spec(
+        FAULT_HEAL,
+        required=("nodes",),
+        description="a partition or straggler window ended",
+    ),
+    _spec(
+        FAULT_STAGING,
+        required=("node", "until"),
+        description="fault injector failed staging I/O on a node",
+    ),
+    _spec(
+        RECOVER_BACKOFF,
+        required=("job", "attempt", "delay"),
+        description="retry held back by exponential backoff before requeue",
+    ),
+    _spec(
+        RECOVER_HUNG,
+        required=("job", "attempt", "phase"),
+        description="hung-job deadline fired; the attempt is aborted",
+    ),
+    _spec(
+        RECOVER_GANG_TEARDOWN,
+        required=("job", "attempt", "workers"),
+        description=(
+            "surviving members of a partially-launched MPI group "
+            "cancelled so their slots return to the aggregator"
+        ),
+    ),
+    _spec(
+        RECOVER_RECONCILE,
+        required=("worker",),
+        description=(
+            "idle worker recycled after its ready credits stayed "
+            "inconsistent past the reconciliation timeout"
+        ),
+    ),
+    _spec(
+        RECOVER_ZOMBIE,
+        required=("worker", "node"),
+        description=(
+            "pilot keeper reaped a live agent the dispatcher no longer "
+            "knows (a dropped close left a zombie connection)"
+        ),
+    ),
+    _spec(
+        RECOVER_QUARANTINE,
+        required=("node", "failures", "until"),
+        description="node blacklisted after repeated pilot failures",
+    ),
+    _spec(
+        RECOVER_READMIT,
+        required=("node",),
+        description="quarantined node re-admitted on probation",
+    ),
+    _spec(
+        RECOVER_RESPAWN,
+        required=("node", "worker"),
+        description="pilot keeper respawned a fresh worker on a node",
     ),
     _spec(
         DISPATCHER_REGISTER,

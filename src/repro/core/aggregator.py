@@ -39,6 +39,9 @@ class WorkerView:
     alive: bool = True
     last_seen: float = 0.0
     ready_since: float = 0.0
+    #: When this worker last gained/returned a slot credit (register,
+    #: ready, done, or placement); drives ready-credit reconciliation.
+    last_credit: float = 0.0
     running_jobs: set[str] = field(default_factory=set)
     #: Last idle/busy state logged to the trace (dedups transitions).
     obs_state: Optional[str] = None

@@ -12,6 +12,7 @@ Usage::
     jets lint [PATH ...]
     jets lint-trace RUN.jsonl
     jets explore [--schedules N] [--seed S]
+    jets chaos [--plans N] [--seed S]
 
 ``TASKFILE`` uses the paper's input format, e.g.::
 
@@ -31,6 +32,10 @@ registry and lifecycle state machines.  ``jets explore`` runs bounded
 schedule exploration: many event-order permutations (with injected
 worker loss) of a small configuration, each re-validated against the
 trace and wire-protocol checkers (:mod:`repro.analysis.explore`).
+``jets chaos`` runs seeded multi-fault chaos plans (crashes, stragglers,
+message drop/delay, partitions, staging faults) with the recovery
+machinery enabled, held to the same validators plus exact job
+accounting (:mod:`repro.core.chaos`).
 """
 
 from __future__ import annotations
@@ -92,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--faults", type=float, default=None, metavar="INTERVAL",
         help="kill one random pilot every INTERVAL seconds",
+    )
+    parser.add_argument(
+        "--fault-mode", choices=("fixed", "exponential", "jittered"),
+        default="fixed",
+        help="fault inter-arrival law (default: fixed, the paper's cadence)",
+    )
+    parser.add_argument(
+        "--fault-jitter", type=float, default=0.0,
+        help="half-width of the jittered fault window, seconds",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -161,6 +175,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.explore import explore_main
 
         return explore_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        from .chaos import chaos_main
+
+        return chaos_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     for path in (args.trace_out, args.chrome_trace):
         reason = unwritable_reason(path)
@@ -189,7 +207,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stage_binaries=not args.no_staging,
     )
     sim = Simulation(machine, config, seed=args.seed)
-    faults = FaultSpec(interval=args.faults) if args.faults else None
+    faults = (
+        FaultSpec(
+            interval=args.faults,
+            mode=args.fault_mode,
+            jitter=args.fault_jitter,
+        )
+        if args.faults
+        else None
+    )
     with obs_scope(
         trace_out=args.trace_out,
         chrome_out=args.chrome_trace,

@@ -31,6 +31,7 @@ from ..netsim.sockets import ConnectionClosed, Socket
 from ..simkernel import Environment, Event, Resource
 from .aggregator import Aggregator, WorkerView
 from .policies import make_policy
+from .recovery import RecoveryPolicy
 from .tasklist import JobSpec
 
 __all__ = ["JetsServiceConfig", "JetsDispatcher", "CompletedJob"]
@@ -56,6 +57,9 @@ class JetsServiceConfig:
             load on the submit site" — so this is comfortably large).
         hydra: cost model for the mpiexec/proxy machinery.
         ctrl_msg_bytes: size of dispatcher control messages.
+        recovery: end-to-end recovery policy (backoff, hung-job
+            deadlines, gang cancel, credit reconciliation); the default
+            is off-or-equivalent, reproducing seed behavior exactly.
     """
 
     service_time: float = 25e-6
@@ -66,6 +70,7 @@ class JetsServiceConfig:
     submit_cpu_slots: int = 2
     hydra: HydraConfig = field(default_factory=HydraConfig)
     ctrl_msg_bytes: int = 512
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
 
 @dataclass
@@ -110,6 +115,21 @@ class JetsDispatcher:
         self._wake: Event = self.env.event()
         self._controllers: dict[str, MpiexecController] = {}
         self._serial_running: dict[str, JobSpec] = {}
+        #: Serial job -> the worker view its live attempt was sent to
+        #: (stale completions from superseded attempts are ignored).
+        self._serial_owner: dict[str, WorkerView] = {}
+        #: MPI job -> worker ids whose completion report is outstanding.
+        self._mpi_pending: dict[str, set[int]] = {}
+        #: ``(worker_id, job_id)`` pairs with a ``cancel`` in flight; the
+        #: first ``done`` from that worker for that job is the cancel ack
+        #: (FIFO sockets guarantee it precedes any later real report) and
+        #: must not be mistaken for a completion of a newer attempt.
+        self._cancel_pending: set[tuple[int, str]] = set()
+        #: Jobs already pushed to :attr:`completed` (idempotence guard —
+        #: recovery can race a late completion against a deadline abort).
+        self._finished_ids: set[str] = set()
+        #: Set once shutdown begins: no more dispatches or requeues.
+        self.shutting_down = False
         self._submit_times: dict[str, float] = {}
         self._dispatch_times: dict[str, float] = {}
         self._queued_times: dict[str, float] = {}
@@ -183,7 +203,21 @@ class JetsDispatcher:
         self._check_drained()
 
     def shutdown_workers(self) -> Generator:
-        """Send shutdown to all live workers (run after :attr:`drained`)."""
+        """Shut the service down: abort in-flight work, stop all pilots.
+
+        Normally run after :attr:`drained`; also safe mid-run — any MPI
+        group still wiring up is torn down through the controller (so its
+        Hydra session ends in a legal aborted state), queued jobs drain
+        to permanent failures, and every live pilot gets ``shutdown``.
+        """
+        self.shutting_down = True
+        for controller in list(self._controllers.values()):
+            controller.abort("dispatcher shutdown")
+        while True:
+            job = self.policy.select(lambda _j: True)
+            if job is None:
+                break
+            self._finish(job, ok=False, result=None, error="dispatcher shutdown")
         for view in self.aggregator.workers():
             if not view.socket.closed:
                 try:
@@ -253,6 +287,7 @@ class JetsDispatcher:
                 slots=slots,
                 last_seen=self.env.now,
             )
+            view.last_credit = self.env.now
             self.aggregator.add_worker(view)
             self.platform.trace.log(
                 "dispatcher.register", {"worker": worker_id, "node": node_id}
@@ -267,6 +302,7 @@ class JetsDispatcher:
                 kind = payload[0]
                 view.last_seen = self.env.now
                 if kind in (wire.READY, wire.READY_ALL):
+                    view.last_credit = self.env.now
                     self.aggregator.mark_ready(
                         view.worker_id,
                         self.env.now,
@@ -280,6 +316,7 @@ class JetsDispatcher:
                     pass
                 elif kind == wire.DONE:
                     _, worker_id, job_id, status, value = payload
+                    view.last_credit = self.env.now
                     self._on_worker_done(view, job_id, status, value)
                 else:
                     # A protocol violation must not kill the event loop
@@ -308,6 +345,7 @@ class JetsDispatcher:
     def _health_monitor(self) -> Generator:
         interval = self.config.heartbeat_interval
         deadline = interval * self.config.heartbeat_misses
+        rec = self.config.recovery
         while True:
             yield self.env.timeout(interval)
             now = self.env.now
@@ -321,6 +359,25 @@ class JetsDispatcher:
                         },
                     )
                     self._worker_lost(view, "heartbeat timeout")
+                    if not view.socket.closed:
+                        view.socket.close()
+                elif (
+                    rec.credit_reconcile > 0
+                    and view.alive
+                    and not view.running_jobs
+                    and view.free_slots < view.slots
+                    and now - view.last_credit > rec.credit_reconcile
+                ):
+                    # Slots are charged but no job is bound and no credit
+                    # has come back for a while: a ``ready`` was lost in
+                    # transit.  Recycle the worker — its pilot reconnects
+                    # (or the keeper respawns it) with a clean slate.
+                    self.platform.trace.log(
+                        "recover.reconcile", {"worker": view.worker_id}
+                    )
+                    self._worker_lost(
+                        view, "ready-credit reconciliation timeout"
+                    )
                     if not view.socket.closed:
                         view.socket.close()
 
@@ -340,7 +397,12 @@ class JetsDispatcher:
                 controller.abort(f"worker {view.worker_id} lost: {reason}")
             serial = self._serial_running.pop(job_id, None)
             if serial is not None:
-                self._requeue(serial, f"worker {view.worker_id} lost: {reason}")
+                self._serial_owner.pop(job_id, None)
+                self._requeue(
+                    serial,
+                    f"worker {view.worker_id} lost: {reason}",
+                    reason="heartbeat" if reason == "heartbeat timeout" else None,
+                )
 
     def _on_worker_done(
         self, view: WorkerView, job_id: str, status: int, value=None
@@ -348,8 +410,23 @@ class JetsDispatcher:
         # Serial-job completion is recorded here (MPI completion arrives via
         # the mpiexec controller); both paths release the worker binding.
         self.aggregator.release(_job_key(job_id), view.worker_id)
+        pending = self._mpi_pending.get(job_id)
+        if pending is not None:
+            pending.discard(view.worker_id)
+        if (view.worker_id, job_id) in self._cancel_pending:
+            # The cancel ack: the slot credit (the worker's follow-up
+            # ``ready``) is all it carries.
+            self._cancel_pending.discard((view.worker_id, job_id))
+            return
+        owner = self._serial_owner.get(job_id)
+        if owner is not None and owner is not view:
+            # Stale report from a superseded attempt (e.g. the original
+            # worker answered a cancel after the job was re-dispatched):
+            # the slot credit above is all it gets.
+            return
         entry = self._serial_running.pop(job_id, None)
         if entry is not None:
+            self._serial_owner.pop(job_id, None)
             job = entry
             ok = status == 0
             t0 = self._dispatch_times.get(job.job_id, self.env.now)
@@ -410,10 +487,17 @@ class JetsDispatcher:
 
     def _run_serial_job(self, job: JobSpec, view: WorkerView) -> Generator:
         self._serial_running[job.job_id] = job
+        self._serial_owner[job.job_id] = view
         self.platform.trace.log(
             "job.dispatch",
             {"job": job.job_id, "nodes": 1, "worker": view.worker_id},
         )
+        rec = self.config.recovery
+        if rec.hung_job_timeout > 0:
+            self.env.process(
+                self._serial_watchdog(job, view, job.attempts),
+                name=f"jets-wd-{job.job_id}",
+            )
         try:
             # Input staging rides the task connection (Coasters-style data
             # movement): the message carries the job's stage-in payload.
@@ -428,7 +512,54 @@ class JetsDispatcher:
             )
         except ConnectionClosed:
             self._serial_running.pop(job.job_id, None)
+            self._serial_owner.pop(job.job_id, None)
             self._requeue(job, "worker connection lost at dispatch")
+
+    def _serial_watchdog(
+        self, job: JobSpec, view: WorkerView, attempt: int
+    ) -> Generator:
+        """Hung-job deadline for one serial dispatch attempt.
+
+        Fires only if *this* attempt is still the live one when the
+        deadline passes: the slot credit is reclaimed, the (possibly
+        still running, possibly never-delivered) task is cancelled at
+        the worker, and the job is resubmitted.
+        """
+        rec = self.config.recovery
+        deadline = rec.hung_job_timeout + max(0.0, job.duration_hint or 0.0)
+        yield self.env.timeout(deadline)
+        if self.shutting_down:
+            return
+        if self._serial_running.get(job.job_id) is not job:
+            return
+        if job.attempts != attempt or self._serial_owner.get(job.job_id) is not view:
+            return
+        self.platform.trace.log(
+            "recover.hung",
+            {"job": job.job_id, "attempt": attempt, "phase": "serial"},
+        )
+        self._serial_running.pop(job.job_id, None)
+        self._serial_owner.pop(job.job_id, None)
+        self.aggregator.release(_job_key(job.job_id), view.worker_id)
+        if self.aggregator.get(view.worker_id) is view and not view.socket.closed:
+            try:
+                yield from self._service()
+                yield view.socket.send(
+                    (wire.CANCEL, job.job_id, False),
+                    wire.wire_size(
+                        wire.CHANNEL_JETS,
+                        wire.CANCEL,
+                        ctrl=self.config.ctrl_msg_bytes,
+                    ),
+                )
+                self._cancel_pending.add((view.worker_id, job.job_id))
+            except ConnectionClosed:
+                pass
+        self._requeue(
+            job,
+            f"serial task hung on worker {view.worker_id}",
+            reason="deadline",
+        )
 
     def _run_mpi_job(self, job: JobSpec, views: list[WorkerView]) -> Generator:
         cfg = self.config
@@ -450,6 +581,7 @@ class JetsDispatcher:
             endpoint=self.endpoint,
         )
         self._controllers[job.job_id] = controller
+        self._mpi_pending[job.job_id] = {v.worker_id for v in views}
         self.platform.trace.log(
             "job.dispatch",
             {
@@ -460,6 +592,11 @@ class JetsDispatcher:
                 "node_ids": [v.node.node_id for v in views],
             },
         )
+        if cfg.recovery.hung_job_timeout > 0:
+            self.env.process(
+                self._mpi_watchdog(job, controller, job.attempts),
+                name=f"jets-wd-{job.job_id}",
+            )
         try:
             cmds = yield from controller.launch()
             self.platform.trace.log(
@@ -498,25 +635,133 @@ class JetsDispatcher:
             result: JobResult = yield controller.done
         finally:
             self._controllers.pop(job.job_id, None)
+        pending = self._mpi_pending.pop(job.job_id, set())
         for view in views:
             self.aggregator.release(job, view.worker_id)
         if result.ok:
             self._wireup.observe(result.wireup_time)
             self._finish(job, ok=True, result=result)
         else:
-            self._requeue(job, result.error, result)
+            if cfg.recovery.gang_cancel and pending:
+                yield from self._gang_cancel(job, views, pending)
+            if not controller.app_started:
+                reason = "wireup_abort"
+            elif "hung-job deadline" in result.error:
+                reason = "deadline"
+            else:
+                reason = None
+            self._requeue(job, result.error, result, reason=reason)
+
+    def _gang_cancel(
+        self, job: JobSpec, views: list[WorkerView], pending: set[int]
+    ) -> Generator:
+        """Tear down the surviving members of a failed MPI group.
+
+        Workers whose proxy report is still outstanding get ``cancel``;
+        their ack (done + ready_all) returns the whole-node slot credit,
+        so a half-wired group is reclaimed instead of waiting out its
+        own secondary failures.
+        """
+        cancelled: list[int] = []
+        for view in views:
+            if view.worker_id not in pending:
+                continue
+            if self.aggregator.get(view.worker_id) is not view:
+                continue  # already written off; nothing to reclaim
+            if view.socket.closed:
+                continue
+            try:
+                yield from self._service()
+                yield view.socket.send(
+                    (wire.CANCEL, job.job_id, True),
+                    wire.wire_size(
+                        wire.CHANNEL_JETS,
+                        wire.CANCEL,
+                        ctrl=self.config.ctrl_msg_bytes,
+                    ),
+                )
+                self._cancel_pending.add((view.worker_id, job.job_id))
+                cancelled.append(view.worker_id)
+            except ConnectionClosed:
+                pass
+        if cancelled:
+            self.platform.trace.log(
+                "recover.gang_teardown",
+                {
+                    "job": job.job_id,
+                    "attempt": job.attempts,
+                    "workers": cancelled,
+                },
+            )
+
+    def _mpi_watchdog(
+        self, job: JobSpec, controller: MpiexecController, attempt: int
+    ) -> Generator:
+        """Hung-job deadline for one MPI dispatch attempt.
+
+        Complements the controller's own ``launch_timeout`` (which only
+        covers PMI wire-up): this one also covers the application phase,
+        so a lost ``commit``/result message cannot strand the group.
+        """
+        rec = self.config.recovery
+        deadline = rec.hung_job_timeout + max(0.0, job.duration_hint or 0.0)
+        yield self.env.timeout(deadline)
+        if self.shutting_down:
+            return
+        if self._controllers.get(job.job_id) is not controller:
+            return
+        if job.attempts != attempt:
+            return
+        phase = "app" if controller.app_started else "wireup"
+        self.platform.trace.log(
+            "recover.hung",
+            {"job": job.job_id, "attempt": attempt, "phase": phase},
+        )
+        controller.abort(f"hung-job deadline exceeded in {phase} phase")
 
     def _requeue(
-        self, job: JobSpec, error: str, result: Optional[JobResult] = None
+        self,
+        job: JobSpec,
+        error: str,
+        result: Optional[JobResult] = None,
+        reason: Optional[str] = None,
     ) -> None:
+        """Charge one attempt and resubmit (or permanently fail) ``job``.
+
+        ``reason`` labels the retry cause for the report's resubmit
+        breakdown (``heartbeat``, ``deadline``, ``wireup_abort``, ...);
+        it is omitted from the payload when the caller has no better
+        label than the error text.
+        """
         job.attempts += 1
-        self.platform.trace.log(
-            "job.retry",
-            {"job": job.job_id, "attempt": job.attempts, "error": error},
-        )
+        payload = {"job": job.job_id, "attempt": job.attempts, "error": error}
+        if reason is not None:
+            payload["reason"] = reason
+        self.platform.trace.log("job.retry", payload)
         self._resubmits.incr()
-        if job.attempts >= job.max_attempts:
+        if self.shutting_down or job.attempts >= job.max_attempts:
             self._finish(job, ok=False, result=result, error=error)
+            return
+        delay = self.config.recovery.backoff_for(job.attempts)
+        if delay > 0:
+            self.platform.trace.log(
+                "recover.backoff",
+                {"job": job.job_id, "attempt": job.attempts, "delay": delay},
+            )
+            self.env.process(
+                self._delayed_enqueue(job, delay),
+                name=f"jets-backoff-{job.job_id}",
+            )
+        else:
+            self._enqueue(job)
+
+    def _delayed_enqueue(self, job: JobSpec, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        if self.shutting_down:
+            self._finish(
+                job, ok=False, result=None,
+                error="dispatcher shutdown during backoff",
+            )
             return
         self._enqueue(job)
 
@@ -527,6 +772,9 @@ class JetsDispatcher:
         result: Optional[JobResult],
         error: str = "",
     ) -> None:
+        if job.job_id in self._finished_ids:
+            return  # a recovery path already settled this job
+        self._finished_ids.add(job.job_id)
         self.jobs_finished += 1
         now = self.env.now
         self._queued_times.pop(job.job_id, None)

@@ -18,11 +18,23 @@ from ..cluster.platform import Platform
 from ..simkernel import Process
 from .worker import WorkerAgent
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "ARRIVAL_MODES"]
+
+
+#: Supported inter-arrival modes: the paper's regular cadence plus two
+#: seeded stochastic ones for the chaos campaigns.
+ARRIVAL_MODES = ("fixed", "exponential", "jittered")
 
 
 class FaultInjector:
-    """Kills one randomly selected live worker per interval."""
+    """Kills one randomly selected live worker per inter-arrival period.
+
+    ``mode`` selects the inter-arrival law: ``fixed`` is the paper's
+    regular 10-s cadence (and draws nothing from the rng between kills,
+    so fixed-mode traces are byte-identical to the pre-mode injector);
+    ``exponential`` draws Poisson-process waits with mean ``interval``;
+    ``jittered`` draws uniformly from ``interval ± jitter``.
+    """
 
     def __init__(
         self,
@@ -31,13 +43,21 @@ class FaultInjector:
         interval: float = 10.0,
         start_after: float = 0.0,
         rng_stream: str = "faults",
+        mode: str = "fixed",
+        jitter: float = 0.0,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if mode not in ARRIVAL_MODES:
+            raise ValueError(f"unknown arrival mode {mode!r}")
+        if jitter < 0 or (mode == "jittered" and jitter >= interval):
+            raise ValueError("jitter must satisfy 0 <= jitter < interval")
         self.platform = platform
         self.workers = list(workers)
         self.interval = interval
         self.start_after = start_after
+        self.mode = mode
+        self.jitter = jitter
         self.rng = platform.rng.stream(rng_stream)
         self.kills: list[tuple[float, int]] = []
         self._kill_counter = platform.metrics.counter("faults.injected")
@@ -48,12 +68,20 @@ class FaultInjector:
         self._proc = self.platform.env.process(self._run(), name="fault-inj")
         return self._proc
 
+    def _next_wait(self) -> float:
+        if self.mode == "exponential":
+            return float(self.rng.exponential(self.interval))
+        if self.mode == "jittered":
+            u = 2.0 * float(self.rng.random()) - 1.0
+            return max(1e-9, self.interval + u * self.jitter)
+        return self.interval  # fixed: no rng draw at all
+
     def _run(self) -> Generator:
         env = self.platform.env
         if self.start_after:
             yield env.timeout(self.start_after)
         while True:
-            yield env.timeout(self.interval)
+            yield env.timeout(self._next_wait())
             living = [w for w in self.workers if w.alive]
             if not living:
                 return

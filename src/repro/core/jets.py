@@ -55,10 +55,18 @@ def service_config_for(machine: MachineSpec, **overrides) -> JetsServiceConfig:
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Fault-injection settings for a run (Section 6.1.5)."""
+    """Fault-injection settings for a run (Section 6.1.5).
+
+    ``mode`` picks the inter-arrival law (``fixed`` — the paper's regular
+    cadence, ``exponential``, ``jittered``); ``jitter`` is the half-width
+    of the jittered mode's uniform window.  The default ``fixed`` mode
+    draws nothing extra from the rng, keeping legacy traces byte-stable.
+    """
 
     interval: float = 10.0
     start_after: float = 0.0
+    mode: str = "fixed"
+    jitter: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -191,6 +199,8 @@ class Simulation:
                     workers,
                     interval=faults.interval,
                     start_after=faults.start_after,
+                    mode=faults.mode,
+                    jitter=faults.jitter,
                 )
                 injector.start()
                 injector_box.append(injector)

@@ -1,0 +1,236 @@
+"""End-to-end recovery policies for the JETS control plane.
+
+The paper's fault evaluation (Fig. 10, Section 6.2) only kills whole
+pilots; production pilot-job systems additionally survive *partial*
+failures — lost messages, stalled links, proxies dying mid-PMI-wire-up —
+by late-binding recovery: retry budgets with backoff, hung-job deadlines,
+and node quarantine (Turilli et al., "A Comprehensive Perspective on
+Pilot-Job Systems").  This module holds the two pieces of that machinery
+that sit *outside* the dispatcher event loop:
+
+* :class:`RecoveryPolicy` — the declarative knob set, threaded into
+  :class:`~repro.core.dispatcher.JetsServiceConfig`.  Every default is
+  off-or-equivalent, so a configuration that never mentions recovery
+  behaves (and traces) exactly like the seed system.
+* :class:`PilotKeeper` — a supervisor for the pilot fleet: it adopts
+  worker agents, respawns fresh ones when they die outside a shutdown,
+  quarantines nodes that fail repeatedly (with probational re-admission),
+  and reaps zombie agents whose close notification the network lost.
+
+Every decision is traced under ``recover.*`` categories registered in
+:mod:`repro.analysis.schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..cluster.node import Node
+from ..cluster.platform import Platform
+from .staging import StagingManager
+from .worker import WorkerAgent
+
+__all__ = ["RecoveryPolicy", "PilotKeeper"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Recovery knobs; all defaults are off-or-equivalent (seed behavior).
+
+    Attributes:
+        backoff_base: first-retry delay before a resubmitted job re-enters
+            the queue; 0 disables backoff (immediate requeue, as seeded).
+        backoff_factor: multiplier applied per further attempt.
+        backoff_max: backoff ceiling, seconds.
+        hung_job_timeout: grace beyond a job's ``duration_hint`` before a
+            dispatched attempt is declared hung and aborted/resubmitted;
+            0 disables hung-job deadlines.
+        gang_cancel: cancel surviving members of a failed MPI group so
+            their slots return instead of waiting out their own failures.
+        credit_reconcile: recycle an idle worker whose ready credits have
+            been inconsistent (slots free at the worker, none announced)
+            for this long — recovers capacity lost to dropped ``ready``
+            messages; 0 disables.
+        respawn_delay: keeper pause before respawning a dead pilot.
+        quarantine_threshold: consecutive pilot failures on one node
+            before the node is blacklisted.
+        quarantine_period: how long a blacklisted node sits out; also the
+            streak-reset horizon (a pilot surviving this long clears its
+            node's failure count).
+        zombie_grace: minimum age before the keeper may reap a live agent
+            the dispatcher no longer knows about.
+    """
+
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    hung_job_timeout: float = 0.0
+    gang_cancel: bool = True
+    credit_reconcile: float = 0.0
+    respawn_delay: float = 0.5
+    quarantine_threshold: int = 3
+    quarantine_period: float = 30.0
+    zombie_grace: float = 10.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before requeueing retry number ``attempt`` (1-based)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        return min(delay, self.backoff_max)
+
+
+class PilotKeeper:
+    """Supervises the pilot fleet: respawn, quarantine, zombie reaping.
+
+    The keeper *adopts* worker agents (hooking their ``on_exit``); when an
+    adopted agent dies outside a dispatcher shutdown it respawns a fresh
+    agent on the node after :attr:`RecoveryPolicy.respawn_delay` — unless
+    the node has accumulated :attr:`RecoveryPolicy.quarantine_threshold`
+    consecutive failures, in which case the node is blacklisted for
+    :attr:`RecoveryPolicy.quarantine_period` and then re-admitted on
+    probation (one more failure re-quarantines immediately).
+
+    A periodic sweep reaps *zombies*: agents still alive locally whose
+    connection the dispatcher has already written off (possible when the
+    network lost a close notification) — the real system's "assume
+    disconnection is likely" principle applied supervisor-side.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        dispatcher,
+        policy: RecoveryPolicy,
+        staging: Optional[StagingManager] = None,
+        heartbeat_interval: float = 5.0,
+        worker_slots: Optional[int] = None,
+        ready_delay: float = 0.0,
+    ):
+        self.platform = platform
+        self.env = platform.env
+        self.dispatcher = dispatcher
+        self.policy = policy
+        self.staging = staging
+        self.heartbeat_interval = heartbeat_interval
+        self.worker_slots = worker_slots
+        self.ready_delay = ready_delay
+        #: node_id -> currently adopted agent.
+        self.agents: dict[int, WorkerAgent] = {}
+        self.respawns = 0
+        self.active = True
+        self._adopt_time: dict[int, float] = {}
+        self._failures: dict[int, int] = {}
+        self._last_death: dict[int, float] = {}
+        self._quarantined: set[int] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def adopt(self, agent: WorkerAgent) -> None:
+        """Supervise ``agent`` (hooks its exit callback)."""
+        self.agents[agent.node.node_id] = agent
+        self._adopt_time[agent.node.node_id] = self.env.now
+        agent.on_exit = self._on_agent_exit
+
+    def live_agents(self) -> list[WorkerAgent]:
+        """Currently adopted agents that are alive."""
+        return [a for a in self.agents.values() if a.alive]
+
+    def start(self) -> None:
+        """Begin the periodic zombie sweep."""
+        self.env.process(self._sweep(), name="keeper-sweep")
+
+    def stop(self) -> None:
+        """Stop supervising: no further respawns or sweeps."""
+        self.active = False
+
+    @property
+    def quarantined_nodes(self) -> set[int]:
+        """Node ids currently blacklisted."""
+        return set(self._quarantined)
+
+    # -- internals ------------------------------------------------------------
+
+    def _shutting_down(self) -> bool:
+        return bool(getattr(self.dispatcher, "shutting_down", False))
+
+    def _on_agent_exit(self, agent: WorkerAgent) -> None:
+        if not self.active or self._shutting_down():
+            return
+        node = agent.node
+        if self.agents.get(node.node_id) is not agent:
+            return  # a superseded agent finally wound down
+        now = self.env.now
+        last = self._last_death.get(node.node_id)
+        if last is not None and now - last > self.policy.quarantine_period:
+            self._failures[node.node_id] = 0
+        self._last_death[node.node_id] = now
+        self._failures[node.node_id] = self._failures.get(node.node_id, 0) + 1
+        self.env.process(
+            self._respawn(node), name=f"keeper-respawn-n{node.node_id}"
+        )
+
+    def _respawn(self, node: Node) -> Generator:
+        yield self.env.timeout(self.policy.respawn_delay)
+        if self._failures.get(node.node_id, 0) >= self.policy.quarantine_threshold:
+            until = self.env.now + self.policy.quarantine_period
+            self._quarantined.add(node.node_id)
+            self.platform.trace.log(
+                "recover.quarantine",
+                {
+                    "node": node.node_id,
+                    "failures": self._failures[node.node_id],
+                    "until": until,
+                },
+            )
+            yield self.env.timeout(self.policy.quarantine_period)
+            self._quarantined.discard(node.node_id)
+            if not self.active or self._shutting_down():
+                return
+            # Probation: one further failure within the quarantine period
+            # re-quarantines immediately.
+            self._failures[node.node_id] = self.policy.quarantine_threshold - 1
+            self.platform.trace.log("recover.readmit", {"node": node.node_id})
+        if not self.active or self._shutting_down():
+            return
+        agent = WorkerAgent(
+            self.platform,
+            node,
+            self.dispatcher.endpoint,
+            service=self.dispatcher.service,
+            slots=self.worker_slots,
+            staging=self.staging,
+            heartbeat_interval=self.heartbeat_interval,
+            ready_delay=self.ready_delay,
+        )
+        self.adopt(agent)
+        agent.start()
+        self.respawns += 1
+        self.platform.trace.log(
+            "recover.respawn",
+            {"node": node.node_id, "worker": agent.worker_id},
+        )
+
+    def _sweep(self) -> Generator:
+        interval = max(self.heartbeat_interval, 0.5)
+        while self.active and not self._shutting_down():
+            yield self.env.timeout(interval)
+            if not self.active or self._shutting_down():
+                return
+            aggregator = getattr(self.dispatcher, "aggregator", None)
+            if aggregator is None:
+                continue
+            for node_id, agent in list(self.agents.items()):
+                if not agent.alive:
+                    continue
+                if self.env.now - self._adopt_time.get(node_id, 0.0) < (
+                    self.policy.zombie_grace
+                ):
+                    continue
+                if aggregator.get(agent.worker_id) is None:
+                    self.platform.trace.log(
+                        "recover.zombie",
+                        {"worker": agent.worker_id, "node": node_id},
+                    )
+                    agent.kill("reaped by pilot keeper (zombie connection)")

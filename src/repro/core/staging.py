@@ -19,7 +19,11 @@ from ..cluster.node import Node
 from ..oslayer.process import ExecutableImage
 from ..simkernel import Environment
 
-__all__ = ["StagingManager"]
+__all__ = ["StagingManager", "StagingError"]
+
+
+class StagingError(Exception):
+    """Staging I/O failed on a node (injected or real shared-FS fault)."""
 
 
 class StagingManager:
@@ -30,6 +34,9 @@ class StagingManager:
         self.files: list[ExecutableImage] = list(files)
         #: Per-node staging wall time, for reports.
         self.staging_times: dict[int, float] = {}
+        #: Nodes whose staging I/O currently fails (chaos engine toggles
+        #: membership for the duration of an injected staging fault).
+        self.fail_nodes: set[int] = set()
 
     def add(self, image: ExecutableImage) -> None:
         """Append a file (and transitively its libraries) to the stage list."""
@@ -47,7 +54,12 @@ class StagingManager:
         return out
 
     def stage_to(self, node: Node) -> Generator:
-        """Sim generator: pull every listed file onto ``node``'s RAM FS."""
+        """Sim generator: pull every listed file onto ``node``'s RAM FS.
+
+        Raises :class:`StagingError` while ``node`` is marked failed.
+        """
+        if node.node_id in self.fail_nodes:
+            raise StagingError(f"staging I/O failure on node {node.node_id}")
         t0 = self.env.now
         for img in self.flatten():
             if node.ramfs.has(img.name):

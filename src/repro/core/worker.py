@@ -28,7 +28,7 @@ from ..mpi.hydra import PROXY_IMAGE, ProxyCommand, run_proxy
 from ..netsim.sockets import ConnectionClosed, Socket
 from ..oslayer.process import ExecutableImage
 from ..simkernel import Interrupt, Process
-from .staging import StagingManager
+from .staging import StagingError, StagingManager
 from .tasklist import JobSpec
 
 __all__ = ["WorkerAgent", "WORKER_IMAGE"]
@@ -78,8 +78,19 @@ class WorkerAgent:
         self.heartbeat_interval = heartbeat_interval
         self.ready_delay = ready_delay
         self.tasks_run = 0
+        #: Called with the agent when its main loop exits, however it
+        #: exits (shutdown, kill, protocol error) — the pilot keeper
+        #: (:class:`repro.core.recovery.PilotKeeper`) hooks this to
+        #: respawn or quarantine.
+        self.on_exit = None
         self._sock: Optional[Socket] = None
         self._children: list[Process] = []
+        #: job_id -> running child process, while a task/proxy executes.
+        self._running: dict[str, Process] = {}
+        #: job_ids in :attr:`_running` that are MPI proxies.
+        self._running_mpi: set[str] = set()
+        #: job_ids whose completion report was actually sent.
+        self._reported: set[str] = set()
         self._main: Optional[Process] = None
         self._alive = False
 
@@ -98,15 +109,24 @@ class WorkerAgent:
         )
         return self._main
 
-    def kill(self) -> None:
+    def kill(self, cause: str = "fault injection") -> None:
         """Fault injection: terminate the pilot (and its task processes)."""
         if self._main is not None and self._main.is_alive:
-            self._main.interrupt("fault injection")
+            self._main.interrupt(cause)
+
+    def running_proxies(self) -> list[tuple[str, Process]]:
+        """Live MPI proxy children, as ``(job_id, process)`` pairs."""
+        return [
+            (job_id, proc)
+            for job_id, proc in self._running.items()
+            if job_id in self._running_mpi and proc.is_alive
+        ]
 
     # -- agent internals ------------------------------------------------------
 
     def _body(self) -> Generator:
         self._alive = True
+        logged_start = False
         try:
             if self.staging is not None:
                 yield from self.staging.stage_to(self.node)
@@ -119,6 +139,7 @@ class WorkerAgent:
             self.platform.trace.log(
                 "worker.start", {"worker": self.worker_id, "node": self.node.node_id}
             )
+            logged_start = True
             yield self._sock.send(
                 (wire.REGISTER, self.worker_id, self.node.node_id, self.slots),
                 wire.wire_size(wire.CHANNEL_JETS, wire.REGISTER),
@@ -136,13 +157,22 @@ class WorkerAgent:
                 msg = yield self._sock.recv()
                 kind = msg.payload[0]
                 if kind == wire.SHUTDOWN:
+                    # In-flight work dies with the pilot: a shutdown mid
+                    # MPI wire-up must not leave proxies running against a
+                    # torn-down mpiexec.
+                    self._abandon_children("dispatcher shutdown")
                     break
                 elif kind == wire.RUN_PROXY:
                     _, cmd, program = msg.payload
-                    self._spawn(self._run_mpi(cmd, program))
+                    self._spawn(
+                        self._run_mpi(cmd, program), cmd.job_id, mpi=True
+                    )
                 elif kind == wire.RUN_TASK:
                     _, job = msg.payload
-                    self._spawn(self._run_serial(job))
+                    self._spawn(self._run_serial(job), job.job_id)
+                elif kind == wire.CANCEL:
+                    _, job_id, mpi_flag = msg.payload
+                    yield from self._cancel(job_id, bool(mpi_flag))
                 else:
                     # A malformed dispatcher message must not surface as
                     # an unhandled raise that poisons the whole sim: die
@@ -166,7 +196,15 @@ class WorkerAgent:
                     )
                     self._abandon_children("protocol error")
                     break
-        except (Interrupt, ConnectionClosed) as exc:
+        except (Interrupt, ConnectionClosed, StagingError) as exc:
+            if not logged_start:
+                # Died before connecting (staging fault, partitioned
+                # handshake): the lifecycle still needs its initial
+                # ``start`` before ``killed``.
+                self.platform.trace.log(
+                    "worker.start",
+                    {"worker": self.worker_id, "node": self.node.node_id},
+                )
             self.platform.trace.log(
                 "worker.killed",
                 {"worker": self.worker_id, "cause": str(exc)},
@@ -177,6 +215,8 @@ class WorkerAgent:
             if self._sock is not None:
                 self._sock.close()
             self.platform.trace.log("worker.stop", {"worker": self.worker_id})
+            if self.on_exit is not None:
+                self.on_exit(self)
 
     def _abandon_children(self, cause: str) -> None:
         for child in self._children:
@@ -186,11 +226,29 @@ class WorkerAgent:
                 except Exception:
                     pass
 
-    def _spawn(self, gen: Generator) -> None:
+    def _spawn(self, gen: Generator, job_id: str, mpi: bool = False) -> None:
         proc = self.env.process(gen, name=f"w{self.worker_id}-task")
         self._children.append(proc)
+        self._running[job_id] = proc
+        if mpi:
+            self._running_mpi.add(job_id)
         if len(self._children) > 2 * self.slots:
             self._children = [c for c in self._children if c.is_alive]
+
+    def _cancel(self, job_id: str, mpi: bool) -> Generator:
+        """Handle a dispatcher ``cancel`` for ``job_id``.
+
+        Three cases: the job is running here (interrupt it — its own
+        report path then restores the slot credit), its report was
+        already sent (done/cancel crossed on the wire — nothing to do),
+        or the dispatch never arrived (a dropped ``run_*``): acknowledge
+        directly so the credit the dispatcher charged comes back.
+        """
+        proc = self._running.get(job_id)
+        if proc is not None and proc.is_alive:
+            proc.interrupt("cancelled by dispatcher")
+        elif job_id not in self._reported:
+            yield from self._report(job_id, 143, whole_node=mpi)
 
     def _heartbeat(self) -> Generator:
         try:
@@ -207,20 +265,33 @@ class WorkerAgent:
 
     def _run_mpi(self, cmd: ProxyCommand, program) -> Generator:
         status = 143
+        interrupted = False
         try:
-            status = yield from self.node.exec_process(
-                PROXY_IMAGE,
-                lambda: run_proxy(self.platform, self.node, cmd, program),
-                count_busy=False,
-                claim_core=False,
+            try:
+                status = yield from self.node.exec_process(
+                    PROXY_IMAGE,
+                    lambda: run_proxy(self.platform, self.node, cmd, program),
+                    count_busy=False,
+                    claim_core=False,
+                )
+            except Interrupt:
+                # Cancelled/aborted between proxy fork and exit; still
+                # report so the dispatcher's slot credit comes back (the
+                # report is a no-op when the pilot itself died — the
+                # socket is already closed then).
+                interrupted = True
+                status = 143
+            if not interrupted:
+                self.tasks_run += 1
+            yield from self._report(
+                cmd.job_id, status, whole_node=True,
+                extra_bytes=0 if interrupted else cmd.stage_out_bytes,
             )
         except Interrupt:
-            return
-        self.tasks_run += 1
-        yield from self._report(
-            cmd.job_id, status, whole_node=True,
-            extra_bytes=cmd.stage_out_bytes,
-        )
+            pass  # interrupted again while reporting; nothing left to do
+        finally:
+            self._running.pop(cmd.job_id, None)
+            self._running_mpi.discard(cmd.job_id)
 
     def _run_serial(self, job: JobSpec) -> Generator:
         status = 0
@@ -243,18 +314,28 @@ class WorkerAgent:
                     "serial": True,
                 },
             )
-            value = yield from job.program.run(ctx)
+            # Through the node's straggler scaler so an injected slowdown
+            # stretches this task's compute.
+            value = yield from self.node.run_scaled(job.program.run(ctx))
             return value
 
         try:
-            value = yield from self.node.exec_process(job.program.image, body)
+            try:
+                value = yield from self.node.exec_process(
+                    job.program.image, body
+                )
+            except Interrupt:
+                yield from self._report(job.job_id, 143)
+                return
+            self.tasks_run += 1
+            yield from self._report(
+                job.job_id, status, value=value,
+                extra_bytes=job.stage_out_bytes,
+            )
         except Interrupt:
-            return
-        self.tasks_run += 1
-        yield from self._report(
-            job.job_id, status, value=value,
-            extra_bytes=job.stage_out_bytes,
-        )
+            pass  # interrupted again while reporting; nothing left to do
+        finally:
+            self._running.pop(job.job_id, None)
 
     def _report(
         self,
@@ -270,6 +351,7 @@ class WorkerAgent:
         over the task connection (Coasters-style data movement)."""
         if self._sock is None or self._sock.closed:
             return
+        self._reported.add(job_id)
         try:
             yield self._sock.send(
                 (wire.DONE, self.worker_id, job_id, status, value),

@@ -37,11 +37,15 @@ def run(
     task_duration: float = 1.0,
     sample_dt: float = 10.0,
     seed: int = 0,
+    fault_mode: str = "fixed",
+    fault_jitter: float = 0.0,
 ) -> dict:
     """Run the fault experiment; returns series + summary rows.
 
     Workers advertise a single slot (one job per node, as plotted in the
     paper's figure).  The task queue is oversized so work never runs out.
+    ``fault_mode``/``fault_jitter`` select the kill inter-arrival law
+    (the paper's figure uses the regular ``fixed`` cadence).
     """
     machine = surveyor(workers)
     horizon = fault_interval * (workers + 4)
@@ -57,7 +61,9 @@ def run(
     tasks = TaskList.from_lines([f"SERIAL: sleep {task_duration}"] * n_tasks)
     report = sim.run_standalone(
         tasks,
-        faults=FaultSpec(interval=fault_interval),
+        faults=FaultSpec(
+            interval=fault_interval, mode=fault_mode, jitter=fault_jitter
+        ),
         until=horizon,
     )
     trace = report.platform.trace

@@ -174,6 +174,10 @@ class MpiexecController:
         self._result: Optional[JobResult] = None
         self._t_launch = 0.0
         self._external_abort = False
+        #: True once the KVS committed and ranks were released — the
+        #: boundary between a wire-up failure and an application failure
+        #: (recovery policies classify resubmit reasons on it).
+        self.app_started = False
 
     def launch(self) -> Generator:
         """Spawn mpiexec; returns the proxy command list (sim generator)."""
@@ -303,38 +307,52 @@ class MpiexecController:
                         "job.pmi_wireup", {"job": self.job_id}
                     )
                     for sock in self._sockets.values():
-                        yield sock.send(
-                            (wire.START,),
-                            wire.wire_size(
-                                wire.CHANNEL_HYDRA,
-                                wire.START,
-                                ctrl=cfg.ctrl_msg_bytes,
-                            ),
-                        )
+                        # A proxy can die between its register and this
+                        # broadcast; its CLOSED mark is already queued
+                        # and fails the job on the next loop turn.
+                        if sock.closed:
+                            continue
+                        try:
+                            yield sock.send(
+                                (wire.START,),
+                                wire.wire_size(
+                                    wire.CHANNEL_HYDRA,
+                                    wire.START,
+                                    ctrl=cfg.ctrl_msg_bytes,
+                                ),
+                            )
+                        except ConnectionClosed:
+                            pass
             elif kind == wire.PMI_PUT:
                 _, rank, key, value = payload
                 self.kvs.put(rank, key, value)
                 puts += 1
                 if puts == self.world_size:
                     comm = self._build_comm()
+                    self.app_started = True
                     t_app_start = env.now
                     commit_bytes = cfg.kvs_bytes_per_rank * self.world_size
                     self.platform.trace.log(
                         "job.app_running", {"job": self.job_id}
                     )
                     for wired_pid, sock in self._sockets.items():
+                        if sock.closed:
+                            continue
                         self.platform.trace.log(
                             "proxy.wired",
                             {"job": self.job_id, "proxy": wired_pid},
                         )
-                        yield sock.send(
-                            (wire.COMMIT, comm),
-                            wire.wire_size(
-                                wire.CHANNEL_HYDRA,
-                                wire.COMMIT,
-                                extra=commit_bytes,
-                            ),
-                        )
+                        try:
+                            yield sock.send(
+                                (wire.COMMIT, comm),
+                                wire.wire_size(
+                                    wire.CHANNEL_HYDRA,
+                                    wire.COMMIT,
+                                    extra=commit_bytes,
+                                ),
+                            )
+                        except ConnectionClosed:
+                            pass
             elif kind == wire.EXIT:
                 _, _pid, status, value = payload
                 exits += 1
@@ -475,7 +493,9 @@ def run_proxy(
                         node=node,
                         job_id=cmd.job_id,
                     )
-                    value = yield from program.run(ctx)
+                    # Through the node's straggler scaler so an injected
+                    # slowdown stretches this rank's compute.
+                    value = yield from node.run_scaled(program.run(ctx))
                     results[rank] = value
                     return value
                 except (Interrupt, MpiAbort):
@@ -484,13 +504,23 @@ def run_proxy(
 
             return body
 
+        def rank_exec(rank: int) -> Generator:
+            # A kill can land while the rank is still paying fork/exec or
+            # loading its executable — before ``rank_body`` is running and
+            # able to catch it.  Absorb the interrupt here so it never
+            # escapes the rank process; the proxy reports the failure.
+            try:
+                return (
+                    yield from node.exec_process(program.image, rank_body(rank))
+                )
+            except (Interrupt, MpiAbort):
+                aborted_ranks.append(rank)
+                return None
+
         for rank in cmd.ranks:
             ready_events[rank] = env.event()
             go_events[rank] = env.event()
-            proc = env.process(
-                node.exec_process(program.image, rank_body(rank)),
-                name=f"rank{rank}-{cmd.job_id}",
-            )
+            proc = env.process(rank_exec(rank), name=f"rank{rank}-{cmd.job_id}")
             rank_procs.append(proc)
 
         # As each rank comes up, forward its PMI put to mpiexec.

@@ -13,6 +13,12 @@ Semantics:
 * A closed peer causes pending and future ``recv`` events to fail with
   :class:`ConnectionClosed` — the disconnection-tolerance tests rely on it
   (design principle 4: "assume disconnection is likely").
+* :meth:`Network.add_impairment` installs fault-injection hooks that may
+  drop or delay individual operations (sends, handshakes, close
+  notifications); the chaos engine (:mod:`repro.core.chaos`) uses this to
+  model lossy links and partitions.  Taps observe a send *before* the
+  impairment verdict, so the protocol validator replays what the sender
+  committed to the wire even when the fabric then loses it.
 """
 
 from __future__ import annotations
@@ -120,7 +126,19 @@ class Socket:
             return ev
         env = self._network.env
         self._network._notify_taps(self, payload, nbytes)
+        dropped, extra = self._network._impair(
+            "send", self.local, self.remote, self.service, nbytes
+        )
+        if dropped:
+            # The sender still pays its software overhead; the fabric
+            # silently loses the message (no peer-side event at all).
+            return env.timeout(self._network.fabric.spec.sw_overhead)
         t = self._network.fabric.transfer_time(self.local, self.remote, nbytes)
+        if extra:
+            # Injected latency delays *this* message; the FIFO clamp below
+            # then pushes every later message behind it, so per-direction
+            # ordering survives impairment.
+            t += extra
         arrival = max(env.now + t, self._peer._last_arrival)
         self._peer._last_arrival = arrival
         peer = self._peer
@@ -167,11 +185,20 @@ class Socket:
             return
         self._closed = True
         if self._peer is not None and not self._peer._closed:
+            dropped, extra = self._network._impair(
+                "close", self.local, self.remote, self.service, 0
+            )
+            if dropped:
+                # The peer never learns about the close (a zombie
+                # connection); higher layers must reap it by timeout.
+                return
             # Notify peer in-band — through the same pending queue as data
             # messages — so already-sent messages drain first even when a
             # schedule permutation makes the close arrive at a tied time.
             env = self._network.env
             t = self._network.fabric.transfer_time(self.local, self.remote, 0)
+            if extra:
+                t += extra
             peer = self._peer
             arrival = max(env.now + t, peer._last_arrival)
             peer._last_arrival = arrival
@@ -211,10 +238,45 @@ class Network:
         self._listeners: dict[tuple[int, str], Listener] = {}
         self._conn_seq = 0
         self._taps: list[Callable[[WireEvent], None]] = []
+        self._impairments: list[Callable] = []
 
     def add_tap(self, tap: Callable[[WireEvent], None]) -> None:
         """Observe every send as a :class:`WireEvent` (protocol checking)."""
         self._taps.append(tap)
+
+    def add_impairment(self, fn: Callable) -> Callable[[], None]:
+        """Install a fault-injection hook; returns its remover.
+
+        ``fn(op, src, dst, service, nbytes)`` is consulted for every
+        network operation, where ``op`` is ``"send"``, ``"connect"`` or
+        ``"close"``.  It returns ``None`` to pass the operation through,
+        ``("drop",)`` to lose it, or ``("delay", seconds)`` to add
+        latency.  Multiple hooks compose: any drop wins, delays add up.
+        """
+        self._impairments.append(fn)
+
+        def remove() -> None:
+            if fn in self._impairments:
+                self._impairments.remove(fn)
+
+        return remove
+
+    def _impair(
+        self, op: str, src: int, dst: int, service: str, nbytes: int
+    ) -> tuple[bool, float]:
+        """Aggregate impairment verdict: ``(dropped, extra_delay)``."""
+        if not self._impairments:
+            return False, 0.0
+        extra = 0.0
+        for fn in list(self._impairments):
+            verdict = fn(op, src, dst, service, nbytes)
+            if not verdict:
+                continue
+            if verdict[0] == "drop":
+                return True, 0.0
+            if verdict[0] == "delay":
+                extra += float(verdict[1])
+        return False, extra
 
     def _notify_taps(self, sock: "Socket", payload: Any, nbytes: int) -> None:
         if not self._taps:
@@ -252,7 +314,15 @@ class Network:
         addr = (endpoint, service)
         # SYN / SYN-ACK / ACK: 1.5 round trips of zero-byte messages.
         rtt = self.fabric.rtt(src, endpoint, 64)
-        yield self.env.timeout(1.5 * rtt)
+        dropped, extra = self._impair("connect", src, endpoint, service, 64)
+        handshake = 1.5 * rtt
+        if extra:
+            handshake += extra
+        yield self.env.timeout(handshake)
+        if dropped:
+            # A partitioned or lossy link manifests as a refused/timed-out
+            # handshake after the connector has waited it out.
+            raise ConnectionClosed(f"connection refused: {addr} (impaired)")
         listener = self._listeners.get(addr)
         if listener is None or not listener._open:
             raise ConnectionClosed(f"connection refused: {addr}")

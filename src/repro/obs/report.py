@@ -16,9 +16,41 @@ from ..simkernel import Trace, TraceRecord
 from .metrics import Histogram, Registry
 from .spans import RunSpans, build_spans
 
-__all__ = ["RunReport", "render_report"]
+__all__ = ["RunReport", "render_report", "resubmit_cause"]
 
 _STAGES = ("queue_wait", "wireup", "app")
+
+#: Render/aggregation order for resubmit causes (known causes first).
+_CAUSES = (
+    "heartbeat", "deadline", "wireup_abort", "connection", "task_error",
+    "other",
+)
+
+
+def resubmit_cause(data: Optional[dict]) -> str:
+    """Classify a ``job.retry`` payload into a resubmit cause.
+
+    Prefers the typed ``reason`` key (present when the dispatcher knows
+    why: ``heartbeat``, ``deadline``, ``wireup_abort``); otherwise falls
+    back to error-text heuristics so traces recorded before the key
+    existed still break down sensibly.
+    """
+    data = data or {}
+    reason = data.get("reason")
+    if reason:
+        return str(reason)
+    error = str(data.get("error", "")).lower()
+    if "heartbeat" in error:
+        return "heartbeat"
+    if "deadline" in error or "hung" in error:
+        return "deadline"
+    if "wire-up" in error or "wireup" in error or "watchdog" in error:
+        return "wireup_abort"
+    if "connection" in error or "unreachable" in error or "closed" in error:
+        return "connection"
+    if "status" in error:
+        return "task_error"
+    return "other"
 
 
 @dataclass
@@ -31,7 +63,11 @@ class RunReport:
     jobs_completed: int = 0
     jobs_failed: int = 0
     resubmissions: int = 0
+    #: resubmit cause -> count (see :func:`resubmit_cause`).
+    resubmit_causes: dict[str, int] = field(default_factory=dict)
     faults: int = 0
+    #: injected-fault kind -> count (``fault.*`` category suffixes).
+    fault_kinds: dict[str, int] = field(default_factory=dict)
     workers_seen: int = 0
     workers_lost: int = 0
     span: float = 0.0
@@ -54,6 +90,17 @@ class RunReport:
         jobs = spans.job_list()
         completed = [j for j in jobs if j.ok]
         failed = [j for j in jobs if j.ok is False]
+
+        causes: dict[str, int] = {}
+        for job in jobs:
+            for attempt in job.attempts:
+                for tr in attempt.transitions:
+                    if tr.state == "resubmitted":
+                        cause = resubmit_cause(tr.data)
+                        causes[cause] = causes.get(cause, 0) + 1
+        kinds: dict[str, int] = {}
+        for _t, kind in spans.fault_events:
+            kinds[kind] = kinds.get(kind, 0) + 1
 
         stage_hists = {name: Histogram(name) for name in _STAGES}
         for job in jobs:
@@ -113,7 +160,9 @@ class RunReport:
             jobs_completed=len(completed),
             jobs_failed=len(failed),
             resubmissions=sum(j.resubmissions for j in jobs),
+            resubmit_causes=causes,
             faults=len(spans.faults),
+            fault_kinds=kinds,
             workers_seen=len(workers),
             workers_lost=sum(1 for w in workers if w.outcome == "lost"),
             span=active_span,
@@ -161,6 +210,24 @@ class RunReport:
                 f"{self.workers_lost} lost, "
                 f"{self.faults} faults injected"
             ),
+        ]
+        if self.fault_kinds:
+            lines.append(
+                "faults by kind: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.fault_kinds.items())
+                )
+            )
+        if self.resubmit_causes:
+            ordered = [c for c in _CAUSES if c in self.resubmit_causes]
+            ordered += sorted(
+                c for c in self.resubmit_causes if c not in _CAUSES
+            )
+            lines.append(
+                "resubmits by cause: "
+                + ", ".join(f"{c}={self.resubmit_causes[c]}" for c in ordered)
+            )
+        lines += [
             (
                 f"span: {self.span:.3f} s, "
                 f"throughput: {self.throughput:.2f} jobs/s"

@@ -238,6 +238,10 @@ class RunSpans:
     jobs: dict[str, JobSpan] = field(default_factory=dict)
     workers: dict[int, WorkerSpan] = field(default_factory=dict)
     faults: list[float] = field(default_factory=list)
+    #: Every injected fault as ``(time, kind)`` — kind is the ``fault.*``
+    #: category suffix (``kill``, ``straggler``, ``net_drop``, ...).
+    #: ``faults`` keeps only the kill times (Fig. 10 semantics).
+    fault_events: list[tuple[float, str]] = field(default_factory=list)
     #: Run metadata from the ``run.allocation`` record, when present.
     allocation_nodes: Optional[int] = None
     cores_per_node: Optional[int] = None
@@ -295,8 +299,12 @@ def build_spans(
             _apply_worker(run, rec.time, cat[7:], data)
         elif cat.startswith("proxy."):
             _apply_proxy(run, rec.time, cat[6:], data)
-        elif cat == "fault.kill":
-            run.faults.append(rec.time)
+        elif cat.startswith("fault."):
+            kind = cat[6:]
+            if kind != "heal":  # heal records close faults, not open them
+                run.fault_events.append((rec.time, kind))
+            if kind == "kill":
+                run.faults.append(rec.time)
         elif cat == "run.allocation":
             run.allocation_nodes = data.get("nodes")
             run.cores_per_node = data.get("cores_per_node")

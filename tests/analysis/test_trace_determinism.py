@@ -55,3 +55,23 @@ def test_different_seeds_differ(tmp_path):
     a = (tmp_path / "a.jsonl").read_bytes()
     b = (tmp_path / "b.jsonl").read_bytes()
     assert a != b
+
+
+def test_fig10_fault_trace_is_byte_identical_across_runs(tmp_path):
+    """The recovery knobs default off-or-equivalent: the Fig. 10 fault run
+    (fixed fault cadence) must still replay byte-for-byte."""
+    from repro.experiments import fig10_faults
+
+    def once(path):
+        _reset_id_counters()
+        with obs_session(trace_out=str(path)):
+            result = fig10_faults.run(
+                workers=8, fault_interval=5.0, task_duration=1.0, seed=0
+            )
+        assert result["faults"] > 0
+        return path.read_bytes()
+
+    first = once(tmp_path / "a.jsonl")
+    second = once(tmp_path / "b.jsonl")
+    assert first == second
+    assert first

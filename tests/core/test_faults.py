@@ -170,3 +170,61 @@ class TestEndToEndFaulty:
         assert report.jobs_completed > 10
         # No phantom successes: completed + failed <= submitted.
         assert report.jobs_completed + report.jobs_failed <= report.jobs_total
+
+
+class TestArrivalModes:
+    def test_fixed_gaps_are_exact(self):
+        platform, dispatcher, agents = start_stack(nodes=4)
+        injector = FaultInjector(platform, agents, interval=1.0, mode="fixed")
+        injector.start()
+        platform.env.run(platform.env.timeout(10.0))
+        times = [t for t, _w in injector.kills]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(1.0) for g in gaps)
+
+    def test_exponential_gaps_vary(self):
+        platform, dispatcher, agents = start_stack(nodes=4)
+        injector = FaultInjector(
+            platform, agents, interval=1.0, mode="exponential"
+        )
+        injector.start()
+        platform.env.run(platform.env.timeout(60.0))
+        times = [t for t, _w in injector.kills]
+        assert len(times) == 4
+        gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1
+
+    def test_jittered_gaps_stay_in_window(self):
+        platform, dispatcher, agents = start_stack(nodes=4)
+        injector = FaultInjector(
+            platform, agents, interval=1.0, mode="jittered", jitter=0.4
+        )
+        injector.start()
+        platform.env.run(platform.env.timeout(20.0))
+        times = [0.0] + [t for t, _w in injector.kills]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps
+        assert all(0.6 - 1e-9 <= g <= 1.4 + 1e-9 for g in gaps)
+
+    def test_mode_validation(self, small_platform):
+        with pytest.raises(ValueError):
+            FaultInjector(small_platform, [], mode="bursty")
+        with pytest.raises(ValueError):
+            FaultInjector(
+                small_platform, [], interval=1.0, mode="jittered", jitter=1.0
+            )
+
+    def test_seeded_modes_replay(self):
+        def kill_times(mode):
+            platform, dispatcher, agents = start_stack(nodes=4)
+            platform.rng.seed = 11
+            platform.rng.reset()
+            injector = FaultInjector(
+                platform, agents, interval=1.0, mode=mode, jitter=0.3
+            )
+            injector.start()
+            platform.env.run(platform.env.timeout(60.0))
+            return [t for t, _w in injector.kills]
+
+        for mode in ("exponential", "jittered"):
+            assert kill_times(mode) == kill_times(mode)

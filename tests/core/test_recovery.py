@@ -1,0 +1,300 @@
+"""Tests for the recovery machinery: backoff, deadlines, quarantine, gangs."""
+
+import pytest
+
+from repro.analysis.explore import wire_messages
+from repro.analysis.protocol import validate_sessions
+from repro.apps.synthetic import BarrierSleepBarrier, SleepProgram
+from repro.cluster.machine import generic_cluster
+from repro.cluster.platform import Platform
+from repro.core.dispatcher import JetsDispatcher, JetsServiceConfig
+from repro.core.recovery import PilotKeeper, RecoveryPolicy
+from repro.core.tasklist import JobSpec
+from repro.core.worker import WorkerAgent
+from repro.mpi.hydra import HydraConfig
+
+
+def start_stack(nodes=3, heartbeat=0.5, recovery=None, hydra=None, tap=False):
+    platform = Platform(generic_cluster(nodes=nodes, cores_per_node=2))
+    tapped = []
+    if tap:
+        platform.network.add_tap(tapped.append)
+    params = dict(heartbeat_interval=heartbeat)
+    if recovery is not None:
+        params["recovery"] = recovery
+    if hydra is not None:
+        params["hydra"] = hydra
+    dispatcher = JetsDispatcher(
+        platform, JetsServiceConfig(**params), expected_workers=nodes
+    )
+    dispatcher.start()
+    agents = [
+        WorkerAgent(
+            platform, node, dispatcher.endpoint, heartbeat_interval=heartbeat
+        )
+        for node in platform.nodes
+    ]
+    for a in agents:
+        a.start()
+    return platform, dispatcher, agents, tapped
+
+
+class TestBackoffPolicy:
+    def test_disabled_by_default(self):
+        pol = RecoveryPolicy()
+        assert pol.backoff_for(1) == 0.0
+        assert pol.backoff_for(7) == 0.0
+
+    def test_exponential_growth_and_cap(self):
+        pol = RecoveryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.5
+        )
+        assert pol.backoff_for(1) == pytest.approx(0.1)
+        assert pol.backoff_for(2) == pytest.approx(0.2)
+        assert pol.backoff_for(3) == pytest.approx(0.4)
+        assert pol.backoff_for(4) == pytest.approx(0.5)  # hits the ceiling
+        assert pol.backoff_for(10) == pytest.approx(0.5)
+
+
+class TestBackoffTiming:
+    def test_requeue_waits_out_the_backoff(self):
+        recovery = RecoveryPolicy(
+            backoff_base=1.0, backoff_factor=2.0, backoff_max=8.0
+        )
+        platform, dispatcher, agents, _ = start_stack(
+            nodes=2, recovery=recovery
+        )
+        done = dispatcher.submit(
+            JobSpec(
+                program=SleepProgram(5.0), nodes=1, mpi=False, max_attempts=5
+            )
+        )
+
+        def killer():
+            yield platform.env.timeout(1.0)
+            busy = {
+                v.worker_id
+                for v in dispatcher.aggregator.workers()
+                if v.running_jobs
+            }
+            for a in agents:
+                if a.worker_id in busy:
+                    a.kill()
+                    return
+
+        platform.env.process(killer())
+        completed = platform.env.run(done)
+        assert completed.ok
+        backoffs = platform.trace.select("recover.backoff")
+        assert backoffs
+        assert backoffs[0].data["delay"] == pytest.approx(1.0)
+        retry_t = platform.trace.select("job.retry")[0].time
+        requeues = [
+            r for r in platform.trace.select("job.queued") if r.time > retry_t
+        ]
+        assert requeues
+        assert requeues[0].time >= retry_t + 1.0 - 1e-9
+
+
+class TestRetryBudget:
+    def test_exhaustion_is_a_permanent_failure(self):
+        platform, dispatcher, agents, _ = start_stack(nodes=6)
+        done = dispatcher.submit(
+            JobSpec(
+                program=BarrierSleepBarrier(30.0),
+                nodes=2,
+                mpi=True,
+                max_attempts=2,
+            )
+        )
+        by_id = {a.worker_id: a for a in agents}
+
+        def serial_killer():
+            while not done.triggered:
+                yield platform.env.timeout(2.0)
+                busy = [
+                    v.worker_id
+                    for v in dispatcher.aggregator.workers()
+                    if v.running_jobs
+                ]
+                for wid in busy[:1]:
+                    if by_id[wid].alive:
+                        by_id[wid].kill()
+
+        platform.env.process(serial_killer())
+        completed = platform.env.run(done)
+        assert not completed.ok
+        assert completed.job.attempts == 2
+        retries = platform.trace.select("job.retry")
+        assert len(retries) == 2
+        # Satellite contract: every retry payload records the attempt
+        # number and the triggering error.
+        for rec in retries:
+            assert rec.data["attempt"] >= 1
+            assert rec.data["error"]
+        failed = platform.trace.select("job.failed")
+        assert any(r.data["job"] == completed.job.job_id for r in failed)
+
+
+class TestHungJobDeadline:
+    def test_straggling_serial_job_aborted_and_resubmitted(self):
+        recovery = RecoveryPolicy(hung_job_timeout=2.0)
+        platform, dispatcher, agents, _ = start_stack(
+            nodes=1, recovery=recovery
+        )
+        node = platform.nodes[0]
+        node.slowdown = 50.0
+        done = dispatcher.submit(
+            JobSpec(
+                program=SleepProgram(1.0), nodes=1, mpi=False, max_attempts=8
+            )
+        )
+
+        def healer():
+            while not platform.trace.select("recover.hung"):
+                yield platform.env.timeout(0.25)
+            node.slowdown = 1.0
+
+        platform.env.process(healer())
+        completed = platform.env.run(done)
+        assert completed.ok
+        hung = platform.trace.select("recover.hung")
+        assert hung
+        assert hung[0].data["phase"] == "serial"
+        # The watchdog fires after hint + grace, not before.
+        assert hung[0].time >= 3.0 - 1e-9
+        retries = platform.trace.select("job.retry")
+        assert retries
+        assert retries[0].data["reason"] == "deadline"
+
+
+class TestQuarantine:
+    def test_repeated_failures_quarantine_then_readmit(self):
+        recovery = RecoveryPolicy(
+            respawn_delay=0.2,
+            quarantine_threshold=2,
+            quarantine_period=2.0,
+            zombie_grace=100.0,
+        )
+        platform = Platform(generic_cluster(nodes=1, cores_per_node=2))
+        dispatcher = JetsDispatcher(
+            platform,
+            JetsServiceConfig(heartbeat_interval=0.5, recovery=recovery),
+            expected_workers=1,
+        )
+        dispatcher.start()
+        keeper = PilotKeeper(
+            platform, dispatcher, recovery, heartbeat_interval=0.5
+        )
+        agent = WorkerAgent(
+            platform,
+            platform.nodes[0],
+            dispatcher.endpoint,
+            heartbeat_interval=0.5,
+        )
+        keeper.adopt(agent)
+        agent.start()
+        keeper.start()
+        env = platform.env
+        node_id = platform.nodes[0].node_id
+
+        def assassin():
+            kills = 0
+            while kills < 2:
+                live = keeper.live_agents()
+                if live:
+                    live[0].kill()
+                    kills += 1
+                yield env.timeout(0.1)
+
+        env.process(assassin())
+        env.run(env.timeout(1.5))
+        assert keeper.quarantined_nodes == {node_id}
+        assert platform.trace.select("recover.quarantine")
+        env.run(env.timeout(3.0))
+        # Probational re-admission: blacklist lifted, pilot respawned.
+        assert not keeper.quarantined_nodes
+        assert platform.trace.select("recover.readmit")
+        assert keeper.live_agents()
+        keeper.stop()
+
+
+class TestGangTeardown:
+    #: Slow mpiexec spawn widens the wire-up phase so the fault below
+    #: reliably lands before the application starts.
+    HYDRA = HydraConfig(mpiexec_spawn=0.5, msg_cost=2e-3)
+
+    def test_kill_during_wireup_cancels_survivors(self):
+        recovery = RecoveryPolicy(hung_job_timeout=10.0, gang_cancel=True)
+        platform, dispatcher, agents, tapped = start_stack(
+            nodes=4, recovery=recovery, hydra=self.HYDRA, tap=True
+        )
+        done = dispatcher.submit(
+            JobSpec(
+                program=BarrierSleepBarrier(2.0),
+                nodes=3,
+                mpi=True,
+                max_attempts=5,
+            )
+        )
+        env = platform.env
+
+        def killer():
+            # The 0.5 s mpiexec spawn runs between dispatch and the
+            # wire-up records, so dispatch + 0.2 lands mid wire-up.
+            while True:
+                if platform.trace.select("job.dispatch"):
+                    break
+                yield env.timeout(0.02)
+            yield env.timeout(0.2)
+            assert not platform.trace.select("job.app_running")
+            busy = [
+                v for v in dispatcher.aggregator.workers() if v.running_jobs
+            ]
+            victim = next(
+                a for a in agents if a.worker_id == busy[0].worker_id
+            )
+            victim.kill()
+
+        env.process(killer())
+        completed = env.run(done)
+        assert completed.ok  # recovered on the survivors
+        teardown = platform.trace.select("recover.gang_teardown")
+        assert teardown
+        assert teardown[0].data["workers"]
+        retries = platform.trace.select("job.retry")
+        assert retries
+        assert retries[0].data["reason"] == "wireup_abort"
+        assert validate_sessions(wire_messages(tapped)) == []
+
+    def test_shutdown_mid_wireup_tears_group_down(self):
+        platform, dispatcher, agents, tapped = start_stack(
+            nodes=4, hydra=self.HYDRA, tap=True
+        )
+        done = dispatcher.submit(
+            JobSpec(
+                program=BarrierSleepBarrier(2.0),
+                nodes=3,
+                mpi=True,
+                max_attempts=5,
+            )
+        )
+        env = platform.env
+
+        def shutdown():
+            while True:
+                if platform.trace.select("job.dispatch"):
+                    break
+                yield env.timeout(0.02)
+            yield env.timeout(0.2)
+            assert not platform.trace.select("job.app_running")
+            yield from dispatcher.shutdown_workers()
+
+        proc = env.process(shutdown())
+        completed = env.run(done)
+        assert not completed.ok
+        assert "shutdown" in completed.error
+        env.run(proc)
+        # The half-wired group must wind down without protocol violations.
+        assert validate_sessions(wire_messages(tapped)) == []
+        assert dispatcher.jobs_finished == dispatcher.jobs_submitted

@@ -197,3 +197,144 @@ class TestClose:
         p = env.process(client())
         env.run(p)
         assert p.value is True
+
+
+class TestImpairment:
+    def test_dropped_send_never_arrives_and_remover_restores(self):
+        env, net = make_net()
+        received = []
+        dropping = {"on": True}
+
+        def hook(op, src, dst, service, nbytes):
+            if op == "send" and dropping["on"]:
+                return ("drop",)
+            return None
+
+        remove = net.add_impairment(hook)
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            while True:
+                msg = yield sock.recv()
+                received.append(msg.payload)
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            yield sock.send("lost", 10)
+            dropping["on"] = False
+            remove()
+            yield sock.send("kept", 10)
+            yield env.timeout(1.0)
+
+        env.process(server())
+        p = env.process(client())
+        env.run(p)
+        assert received == ["kept"]
+
+    def test_delay_adds_latency(self):
+        def arrival_time(extra):
+            env, net = make_net()
+            if extra:
+                net.add_impairment(
+                    lambda op, *a: ("delay", extra) if op == "send" else None
+                )
+            times = {}
+
+            def server():
+                lis = net.listen(1, "svc")
+                sock = yield lis.accept()
+                yield sock.recv()
+                times["t"] = env.now
+
+            def client():
+                sock = yield from net.connect(0, 1, "svc")
+                yield sock.send("x", 10)
+
+            env.process(server())
+            env.process(client())
+            env.run()
+            return times["t"]
+
+        base = arrival_time(0.0)
+        slow = arrival_time(0.5)
+        assert slow == pytest.approx(base + 0.5)
+
+    def test_delayed_first_message_cannot_be_overtaken(self):
+        env, net = make_net()
+        count = {"sends": 0}
+        received = []
+
+        def hook(op, src, dst, service, nbytes):
+            if op == "send":
+                count["sends"] += 1
+                if count["sends"] == 1:
+                    return ("delay", 0.5)
+            return None
+
+        net.add_impairment(hook)
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            for _ in range(2):
+                msg = yield sock.recv()
+                received.append(msg.payload)
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            sock.send("first", 10)
+            sock.send("second", 10)
+            yield env.timeout(1.0)
+
+        env.process(server())
+        env.process(client())
+        env.run()
+        assert received == ["first", "second"]
+
+    def test_dropped_connect_refused_after_handshake_wait(self):
+        env, net = make_net()
+        net.listen(1, "svc")
+        net.add_impairment(
+            lambda op, *a: ("drop",) if op == "connect" else None
+        )
+
+        def client():
+            t0 = env.now
+            try:
+                yield from net.connect(0, 1, "svc")
+            except ConnectionClosed:
+                return env.now - t0
+
+        p = env.process(client())
+        env.run(p)
+        assert p.value is not None
+        assert p.value > 0  # the connector waited the handshake out
+
+    def test_dropped_close_leaves_zombie_peer(self):
+        env, net = make_net()
+        net.add_impairment(
+            lambda op, *a: ("drop",) if op == "close" else None
+        )
+        state = {}
+
+        def server():
+            lis = net.listen(1, "svc")
+            sock = yield lis.accept()
+            state["sock"] = sock
+            try:
+                yield sock.recv()
+                state["got"] = True
+            except ConnectionClosed:
+                state["closed"] = True
+
+        def client():
+            sock = yield from net.connect(0, 1, "svc")
+            sock.close()
+
+        env.process(server())
+        env.process(client())
+        env.run()
+        # The close notification was lost: the peer never learns.
+        assert "closed" not in state and "got" not in state
+        assert not state["sock"].closed

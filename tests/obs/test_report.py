@@ -137,3 +137,47 @@ class TestCliObservability:
         code = main(["report", str(empty)])
         assert code == 1
         assert "no trace records" in capsys.readouterr().err
+
+
+class TestFaultBreakdowns:
+    def _faulty_trace(self):
+        from repro.core.jets import FaultSpec
+
+        sim = Simulation(
+            generic_cluster(nodes=6, cores_per_node=1),
+            JetsConfig(worker_slots=1),
+        )
+        tasks = TaskList.from_text("SERIAL: sleep 1.0\n" * 40)
+        report = sim.run_standalone(
+            tasks, faults=FaultSpec(interval=3.0), until=60.0
+        )
+        return report.platform.trace
+
+    def test_report_breaks_down_faults_and_resubmit_causes(self):
+        trace = self._faulty_trace()
+        rep = RunReport.from_trace(trace)
+        assert rep.fault_kinds.get("kill", 0) == rep.faults > 0
+        assert rep.resubmissions > 0
+        assert sum(rep.resubmit_causes.values()) == rep.resubmissions
+        text = rep.render()
+        assert "faults by kind: kill=" in text
+        assert "resubmits by cause:" in text
+
+    def test_resubmit_cause_classifier(self):
+        from repro.obs.report import resubmit_cause
+
+        assert resubmit_cause({"reason": "deadline"}) == "deadline"
+        assert resubmit_cause({"reason": "wireup_abort"}) == "wireup_abort"
+        assert (
+            resubmit_cause({"error": "worker 3 heartbeat timeout"})
+            == "heartbeat"
+        )
+        assert (
+            resubmit_cause({"error": "connection to worker lost"})
+            == "connection"
+        )
+        assert resubmit_cause({"error": "exited with status 143"}) == (
+            "task_error"
+        )
+        assert resubmit_cause({"error": "mystery"}) == "other"
+        assert resubmit_cause(None) == "other"
