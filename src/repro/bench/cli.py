@@ -1,0 +1,159 @@
+"""The ``jets bench`` subcommand.
+
+Runs one or both workload suites, prints a result table, writes
+``BENCH_<suite>.json`` files, and (with ``--against``) gates on wall-time
+regression versus a saved baseline::
+
+    jets bench                      # full kernel + macro suites
+    jets bench --suite kernel       # one suite
+    jets bench --quick              # CI smoke sizes
+    jets bench --against BENCH_macro.json --threshold 30
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .harness import (
+    BenchResult,
+    compare_runs,
+    load_baseline,
+    run_suite,
+    write_suite,
+)
+from .workloads import SUITES
+
+__all__ = ["bench_main", "build_bench_parser"]
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Parser for ``jets bench``."""
+    parser = argparse.ArgumentParser(
+        prog="jets bench",
+        description="Run the performance workload suites and emit "
+        "BENCH_<suite>.json.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES) + ["all"],
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced iteration counts (CI smoke)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="where to write BENCH_<suite>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        metavar="BENCH.json",
+        help="compare against a saved baseline; fail on regression. "
+        "The baseline's suite name selects which fresh suite it gates.",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="wall-time regression tolerance in percent (default: 25)",
+    )
+    parser.add_argument(
+        "--no-mem",
+        action="store_true",
+        help="skip the tracemalloc memory pass (halves runtime)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="timed-pass repetitions per workload; the minimum wall "
+        "time is reported (default: 1)",
+    )
+    return parser
+
+
+def _print_result(result: BenchResult) -> None:
+    parts = [f"  {result.name:<18} {result.wall_s:8.3f}s"]
+    if result.events_per_s:
+        parts.append(f"{result.events_per_s:>12,.0f} ev/s")
+    parts.append(f"rss {result.peak_rss_kb // 1024} MB")
+    if result.alloc_peak_kb is not None:
+        parts.append(f"alloc-peak {result.alloc_peak_kb / 1024:.1f} MB")
+    print("  ".join(parts))
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets bench`` entry point; returns the process exit code."""
+    args = build_bench_parser().parse_args(argv)
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+
+    baseline = None
+    if args.against is not None:
+        try:
+            baseline = load_baseline(args.against)
+        except OSError as exc:
+            print(f"jets bench: cannot read {args.against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"jets bench: {exc}", file=sys.stderr)
+            return 2
+
+    if not os.path.isdir(args.out_dir):
+        print(f"jets bench: {args.out_dir} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    exit_code = 0
+    for suite in suites:
+        print(f"suite {suite}{' (quick)' if args.quick else ''}:")
+        run = run_suite(
+            suite,
+            quick=args.quick,
+            memory=not args.no_mem,
+            progress=_print_result,
+            repeats=max(1, args.repeat),
+        )
+        suite_baseline = (
+            baseline if baseline is not None and baseline.get("suite") == suite
+            else None
+        )
+        out_path = os.path.join(args.out_dir, f"BENCH_{suite}.json")
+        write_suite(
+            run,
+            out_path,
+            baseline=suite_baseline,
+            baseline_source=args.against if suite_baseline else "",
+        )
+        print(f"  wrote {out_path}")
+        if suite_baseline is not None:
+            cmp = compare_runs(run, suite_baseline, args.threshold)
+            for name, (old, new, speedup) in sorted(cmp.walls.items()):
+                print(
+                    f"  {name:<18} {old:8.3f}s -> {new:8.3f}s  "
+                    f"({speedup:.2f}x)"
+                )
+            for note in cmp.skipped:
+                print(f"  skipped: {note}")
+            for regression in cmp.regressions:
+                print(f"  REGRESSION: {regression}", file=sys.stderr)
+            if not cmp.ok:
+                exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(bench_main())

@@ -1,0 +1,302 @@
+"""Measurement core for ``jets bench``.
+
+Each workload is run twice: a *timed* pass (wall clock only — nothing
+else is sampling while the clock runs) and an optional *memory* pass
+under :mod:`tracemalloc` (which slows execution several-fold, so its
+numbers never contaminate the timing).  Peak RSS comes from
+``getrusage`` and is a process-wide high-water mark: workloads early in
+a suite report their own footprint, later ones report the running
+maximum.
+
+The JSON layout (one file per suite, ``BENCH_<suite>.json``)::
+
+    {
+      "schema": 1,
+      "suite": "macro",
+      "quick": false,
+      "repeats": 3,
+      "python": "3.12.3",
+      "results": {
+        "fig09_mpi512": {
+          "wall_s": 1.93, "events": 1182732, "events_per_s": 612814.5,
+          "sim_s": 672.2, "peak_rss_kb": 151220,
+          "alloc_peak_kb": 78123.4, "alloc_net_blocks": 51234,
+          "meta": {...workload parameters...}
+        }, ...
+      },
+      "baseline": {"source": "BENCH_macro.json", "wall_s": {...}},
+      "speedup": {"fig09_mpi512": 1.41, ...}
+    }
+
+``baseline``/``speedup`` appear when the run was compared against an
+earlier file (``jets bench --against``): ``speedup`` is
+``baseline_wall / new_wall`` per workload, so values above 1 are
+improvements.  Comparison fails a workload when its wall time regresses
+by more than the threshold, or when its (deterministic) kernel event
+count grows beyond a small tolerance — event counts transfer across
+machines, wall times only roughly.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .workloads import SUITES, Workload
+
+__all__ = [
+    "BenchResult",
+    "SuiteRun",
+    "Comparison",
+    "run_workload",
+    "run_suite",
+    "write_suite",
+    "load_baseline",
+    "compare_runs",
+]
+
+#: JSON schema version of the BENCH files.
+SCHEMA = 1
+
+#: Deterministic event counts may grow by at most this factor before the
+#: comparison flags a regression (guards against accidental event churn).
+EVENT_GROWTH_TOLERANCE = 1.05
+
+
+@dataclass
+class BenchResult:
+    """One workload's measurements."""
+
+    name: str
+    wall_s: float
+    events: Optional[int] = None
+    events_per_s: Optional[float] = None
+    sim_s: Optional[float] = None
+    peak_rss_kb: int = 0
+    alloc_peak_kb: Optional[float] = None
+    alloc_net_blocks: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out: dict = {"wall_s": round(self.wall_s, 6)}
+        if self.events is not None:
+            out["events"] = self.events
+            out["events_per_s"] = round(self.events_per_s or 0.0, 1)
+        if self.sim_s is not None:
+            out["sim_s"] = round(self.sim_s, 6)
+        out["peak_rss_kb"] = self.peak_rss_kb
+        if self.alloc_peak_kb is not None:
+            out["alloc_peak_kb"] = round(self.alloc_peak_kb, 1)
+        if self.alloc_net_blocks is not None:
+            out["alloc_net_blocks"] = self.alloc_net_blocks
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+
+@dataclass
+class SuiteRun:
+    """All results of one suite execution."""
+
+    suite: str
+    quick: bool
+    results: list[BenchResult] = field(default_factory=list)
+    #: Timed-pass repetitions per workload (wall_s is the minimum).
+    repeats: int = 1
+
+    def result(self, name: str) -> Optional[BenchResult]:
+        for r in self.results:
+            if r.name == name:
+                return r
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "suite": self.suite,
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "python": sys.version.split()[0],
+            "results": {r.name: r.to_json() for r in self.results},
+        }
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KB (ru_maxrss unit on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_workload(
+    workload: Workload,
+    quick: bool = False,
+    memory: bool = True,
+    repeats: int = 1,
+) -> BenchResult:
+    """Measure one workload: timed pass(es), then optional tracemalloc pass.
+
+    With ``repeats > 1`` the timed pass runs that many times and the
+    *minimum* wall time is reported — the standard noise-rejection move:
+    a run can only be slowed down by interference, never sped up, so the
+    minimum is the best estimate of the workload's true cost.  The
+    workload outputs (events, sim time) are deterministic across repeats.
+    """
+    wall = float("inf")
+    out: dict = {}
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()  # repro: noqa[DT001]
+        out = workload.fn(quick) or {}
+        elapsed = time.perf_counter() - t0  # repro: noqa[DT001]
+        if elapsed < wall:
+            wall = elapsed
+
+    events = out.pop("events", None)
+    sim_s = out.pop("sim_s", None)
+    result = BenchResult(
+        name=workload.name,
+        wall_s=wall,
+        events=events,
+        events_per_s=(events / wall) if events and wall > 0 else None,
+        sim_s=sim_s,
+        peak_rss_kb=_peak_rss_kb(),
+        meta=out,
+    )
+
+    if memory:
+        blocks0 = sys.getallocatedblocks()
+        tracemalloc.start()
+        try:
+            workload.fn(quick)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        result.alloc_peak_kb = peak / 1024.0
+        result.alloc_net_blocks = sys.getallocatedblocks() - blocks0
+    return result
+
+
+def run_suite(
+    suite: str,
+    quick: bool = False,
+    memory: bool = True,
+    progress=None,
+    repeats: int = 1,
+) -> SuiteRun:
+    """Run every workload of a named suite, in declaration order."""
+    workloads = SUITES.get(suite)
+    if workloads is None:
+        raise KeyError(f"unknown bench suite {suite!r}")
+    run = SuiteRun(suite=suite, quick=quick, repeats=repeats)
+    for wl in workloads:
+        result = run_workload(wl, quick=quick, memory=memory, repeats=repeats)
+        run.results.append(result)
+        if progress is not None:
+            progress(result)
+    return run
+
+
+def write_suite(
+    run: SuiteRun,
+    path: str,
+    baseline: Optional[dict] = None,
+    baseline_source: str = "",
+) -> dict:
+    """Write a suite's JSON file (with speedups when a baseline is given)."""
+    doc = run.to_json()
+    if baseline is not None:
+        base_walls = {
+            name: entry.get("wall_s")
+            for name, entry in baseline.get("results", {}).items()
+        }
+        doc["baseline"] = {
+            "source": baseline_source or "baseline",
+            "wall_s": {
+                k: v for k, v in base_walls.items() if v is not None
+            },
+        }
+        speedups: dict[str, float] = {}
+        for result in run.results:
+            old = base_walls.get(result.name)
+            if old and result.wall_s > 0:
+                speedups[result.name] = round(old / result.wall_s, 3)
+        doc["speedup"] = speedups
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def load_baseline(path: str) -> dict:
+    """Load a BENCH JSON file, validating the schema tag."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ValueError(f"{path} is not a jets bench JSON file")
+    if doc.get("schema", 1) > SCHEMA:
+        raise ValueError(
+            f"{path} uses bench schema {doc['schema']}; this build "
+            f"understands up to {SCHEMA}"
+        )
+    return doc
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a fresh run against a baseline file."""
+
+    threshold_pct: float
+    #: workload -> (baseline wall, new wall, speedup)
+    walls: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+    regressions: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_runs(
+    run: SuiteRun, baseline: dict, threshold_pct: float = 25.0
+) -> Comparison:
+    """Flag workloads that regressed versus a baseline document.
+
+    A workload regresses when its wall time exceeds the baseline by more
+    than ``threshold_pct`` percent, or when its deterministic kernel
+    event count grew beyond :data:`EVENT_GROWTH_TOLERANCE`.  Workloads
+    whose parameters differ from the baseline (e.g. a ``--quick`` run
+    against a full baseline) are skipped, not compared.
+    """
+    cmp = Comparison(threshold_pct=threshold_pct)
+    base_results = baseline.get("results", {})
+    for result in run.results:
+        base = base_results.get(result.name)
+        if base is None:
+            cmp.skipped.append(f"{result.name}: not in baseline")
+            continue
+        if base.get("meta") and result.meta and base["meta"] != result.meta:
+            cmp.skipped.append(
+                f"{result.name}: parameters differ from baseline"
+            )
+            continue
+        old_wall = base.get("wall_s")
+        if old_wall:
+            speedup = old_wall / result.wall_s if result.wall_s > 0 else 0.0
+            cmp.walls[result.name] = (old_wall, result.wall_s, speedup)
+            if result.wall_s > old_wall * (1.0 + threshold_pct / 100.0):
+                cmp.regressions.append(
+                    f"{result.name}: wall {result.wall_s:.3f}s vs baseline "
+                    f"{old_wall:.3f}s (> {threshold_pct:.0f}% slower)"
+                )
+        old_events = base.get("events")
+        if old_events and result.events:
+            if result.events > old_events * EVENT_GROWTH_TOLERANCE:
+                cmp.regressions.append(
+                    f"{result.name}: kernel events {result.events} vs "
+                    f"baseline {old_events} (deterministic count grew "
+                    f"> {(EVENT_GROWTH_TOLERANCE - 1) * 100:.0f}%)"
+                )
+    return cmp

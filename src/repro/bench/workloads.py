@@ -1,0 +1,332 @@
+"""Named benchmark workloads for ``jets bench``.
+
+Two suites:
+
+* ``kernel`` — microbenchmarks that isolate one hot path each: raw event
+  churn (allocate/trigger/resume), timeout storms with heavy same-time
+  ties (the batched-pop case), interrupt storms (bridge events), trace
+  category queries (the report/lint/protocol read path), aggregator
+  dispatch scans, and gauge integrals.
+* ``macro`` — reduced cuts of the paper experiments end to end: the
+  Fig. 6 sequential launch-rate sweep, the Fig. 9 512-node MPI
+  utilization point, a chaos-plan mix, and a slice of the schedule
+  explorer.
+
+Each workload is a plain function ``fn(quick: bool) -> dict``.  The dict
+may carry ``events`` (kernel events processed) and ``sim_s`` (simulated
+seconds) — the harness lifts those into first-class fields — plus any
+deterministic parameters/checksums, which land in ``meta`` and double as
+a cross-run identity check (the comparison mode refuses to compare runs
+whose meta differs, and identical seeds must reproduce identical
+checksums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Workload", "SUITES"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark workload."""
+
+    name: str
+    fn: Callable[[bool], dict]
+    doc: str = ""
+
+
+# -- kernel microbenchmarks ---------------------------------------------------
+
+
+def _event_churn(quick: bool) -> dict:
+    """Raw event allocate/trigger/resume plus the processed-event paths."""
+    from ..simkernel import Environment
+
+    procs = 100 if quick else 400
+    rounds = 30 if quick else 120
+    env = Environment()
+    done = env.event()
+    done.succeed()
+
+    def worker(env):
+        for _ in range(rounds):
+            ev = env.event()
+            ev.succeed()
+            yield ev
+            # Already-processed target: exercises the no-reschedule
+            # resume path (after the first pop of `done`).
+            yield done
+            # Late listener on a processed event: the bridge/relay path.
+            done._add_callback(_sink)
+
+    for _ in range(procs):
+        env.process(worker(env))
+    env.run()
+    return {
+        "events": env.events_processed,
+        "sim_s": env.now,
+        "procs": procs,
+        "rounds": rounds,
+    }
+
+
+def _sink(_event) -> None:
+    pass
+
+
+def _timeout_storm(quick: bool) -> dict:
+    """Heap churn with heavy same-time ties (quantized delays)."""
+    from ..simkernel import Environment
+
+    procs = 150 if quick else 600
+    rounds = 40 if quick else 150
+    env = Environment()
+
+    def worker(env, i):
+        for _ in range(rounds):
+            # Quantized delays put many events at identical timestamps.
+            yield env.timeout((i % 5) * 0.5)
+
+    for i in range(procs):
+        env.process(worker(env, i))
+    env.run()
+    return {
+        "events": env.events_processed,
+        "sim_s": env.now,
+        "procs": procs,
+        "rounds": rounds,
+    }
+
+
+def _interrupt_storm(quick: bool) -> dict:
+    """Interrupt delivery: bridge allocation + throw into generators."""
+    from ..simkernel import Environment, Interrupt
+
+    procs = 60 if quick else 200
+    hits = 20 if quick else 60
+    env = Environment()
+
+    def sleeper(env):
+        for _ in range(hits):
+            try:
+                yield env.timeout(1000.0)
+            except Interrupt:
+                pass
+
+    def driver(env, targets):
+        for _ in range(hits):
+            for t in targets:
+                yield env.timeout(0.001)
+                if t.is_alive:
+                    t.interrupt("storm")
+
+    targets = [env.process(sleeper(env)) for _ in range(procs)]
+    env.process(driver(env, targets))
+    env.run()
+    return {
+        "events": env.events_processed,
+        "sim_s": round(env.now, 6),
+        "procs": procs,
+        "hits": hits,
+    }
+
+
+def _trace_query(quick: bool) -> dict:
+    """Category select/times queries — the report/lint/protocol read path."""
+    from ..simkernel import Environment
+    from ..simkernel.monitor import Trace
+
+    families = 6
+    cats = 24
+    per_cat = 100 if quick else 400
+    queries = 20 if quick else 100
+    env = Environment()
+    trace = Trace(env)
+    names = [f"fam{i % families}.cat{i}" for i in range(cats)]
+    for r in range(per_cat):
+        for name in names:
+            trace.log(name, {"i": r})  # repro: noqa[TR004]
+    checksum = 0
+    for _ in range(queries):
+        for name in names:
+            checksum += len(trace.select(name))
+            checksum += len(trace.times(name))
+        for fam in range(families):
+            checksum += len(trace.select(f"fam{fam}.", prefix=True))
+    return {
+        "records": len(trace),
+        "queries": queries,
+        "checksum": checksum,
+    }
+
+
+def _aggregator_churn(quick: bool) -> dict:
+    """Dispatch-decision scans: can_place/place/release cycles."""
+    from ..core.aggregator import Aggregator, WorkerView
+    from ..core.tasklist import JobSpec
+
+    workers = 150 if quick else 500
+    cycles = 2000 if quick else 12000
+    agg = Aggregator()
+    for wid in range(workers):
+        agg.add_worker(
+            WorkerView(worker_id=wid, node=None, socket=None, slots=2)
+        )
+        agg.mark_ready(wid, now=0.0, all_slots=True)
+    serial = JobSpec(program=None, nodes=1, ppn=1, mpi=False, job_id="bench-s")
+    mpi = JobSpec(program=None, nodes=4, ppn=1, mpi=True, job_id="bench-m")
+    placed = 0
+    for i in range(cycles):
+        job = mpi if i % 4 == 0 else serial
+        if agg.can_place(job):
+            views = agg.place(job)
+            placed += len(views)
+            for v in views:
+                agg.release(job, v.worker_id)
+                agg.mark_ready(v.worker_id, now=float(i), all_slots=job.mpi)
+    return {
+        "workers": workers,
+        "cycles": cycles,
+        "placed": placed,
+    }
+
+
+def _gauge_integral(quick: bool) -> dict:
+    """Windowed integrals over a long step series."""
+    from ..simkernel import Environment
+    from ..simkernel.monitor import Gauge
+
+    samples = 1000 if quick else 4000
+    integrals = 600 if quick else 3000
+    env = Environment()
+    gauge = Gauge(env, initial=0.0)
+
+    def driver(env):
+        for i in range(samples):
+            yield env.timeout(1.0)
+            gauge.set(float(i % 32))
+
+    env.process(driver(env))
+    env.run()
+    checksum = 0.0
+    for q in range(integrals):
+        start = float(q % (samples - 16))
+        checksum += gauge.integral(start, start + 12.0)
+    return {
+        "samples": samples,
+        "integrals": integrals,
+        "checksum": round(checksum, 3),
+    }
+
+
+# -- macro workloads ----------------------------------------------------------
+
+
+def _collect(runs) -> dict:
+    """Sum kernel/trace volume across an obs session's captured runs."""
+    events = sum(t.env.events_processed for _label, t, _reg in runs)
+    sim_s = sum(t.env.now for _label, t, _reg in runs)
+    records = sum(len(t.records) for _label, t, _reg in runs)
+    return {"events": events, "sim_s": round(sim_s, 6), "records": records}
+
+
+def _fig06_rate(quick: bool) -> dict:
+    """Fig. 6 sequential launch-rate sweep (reduced allocation)."""
+    from ..experiments import fig06_sequential
+    from ..obs import session
+
+    nodes = (64,) if quick else (256,)
+    tpn = 4 if quick else 8
+    with session() as s:
+        rows = fig06_sequential.run(
+            node_sizes=nodes, tasks_per_node=tpn, seed=0
+        )
+    out = _collect(s.runs)
+    out.update(
+        nodes=list(nodes),
+        tasks_per_node=tpn,
+        rate=rows[-1]["rate"],
+        completed=rows[-1]["completed"],
+    )
+    return out
+
+
+def _fig09_mpi512(quick: bool) -> dict:
+    """Fig. 9 MPI point: 512 nodes, 8-process tasks (128 nodes in quick)."""
+    from ..experiments import fig09_bgp
+    from ..obs import session
+
+    alloc = 128 if quick else 512
+    tpn = 2 if quick else 4
+    with session() as s:
+        rows = fig09_bgp.run(
+            alloc_sizes=(alloc,),
+            task_sizes=(8,),
+            duration=10.0,
+            tasks_per_node=tpn,
+            seed=0,
+        )
+    out = _collect(s.runs)
+    out.update(
+        alloc=alloc,
+        tasks_per_node=tpn,
+        util=rows[0]["util"],
+        jobs=rows[0]["jobs"],
+    )
+    return out
+
+
+def _chaos_mix(quick: bool) -> dict:
+    """A slice of the chaos campaign: all-kind fault plans with recovery."""
+    from ..core.chaos import ChaosConfig, run_chaos_plan
+    from ..obs import session
+
+    plans = 5 if quick else 20
+    config = ChaosConfig()
+    with session() as s:
+        results = [run_chaos_plan(config, i) for i in range(plans)]
+    out = _collect(s.runs)
+    out.update(
+        plans=plans,
+        ok=sum(1 for r in results if r.ok),
+        respawns=sum(r.respawns for r in results),
+    )
+    return out
+
+
+def _explore_slice(quick: bool) -> dict:
+    """A slice of the schedule explorer: permuted event orders + oracles."""
+    from ..analysis.explore import ExploreConfig, run_schedule
+    from ..obs import session
+
+    schedules = 10 if quick else 40
+    config = ExploreConfig()
+    with session() as s:
+        results = [run_schedule(config, i) for i in range(schedules)]
+    out = _collect(s.runs)
+    out.update(
+        schedules=schedules,
+        drained=sum(1 for r in results if r.drained),
+    )
+    return out
+
+
+SUITES: dict[str, list[Workload]] = {
+    "kernel": [
+        Workload("event_churn", _event_churn, "event alloc/trigger/resume"),
+        Workload("timeout_storm", _timeout_storm, "heap churn, same-time ties"),
+        Workload("interrupt_storm", _interrupt_storm, "interrupt delivery"),
+        Workload("trace_query", _trace_query, "trace select/times queries"),
+        Workload("aggregator_churn", _aggregator_churn, "dispatch scans"),
+        Workload("gauge_integral", _gauge_integral, "windowed gauge integrals"),
+    ],
+    "macro": [
+        Workload("fig06_rate", _fig06_rate, "Fig. 6 sequential launch rate"),
+        Workload("fig09_mpi512", _fig09_mpi512, "Fig. 9 512-node MPI point"),
+        Workload("chaos_mix", _chaos_mix, "chaos plans with recovery"),
+        Workload("explore_slice", _explore_slice, "schedule-explorer slice"),
+    ],
+}

@@ -77,6 +77,12 @@ class Aggregator:
         self._workers: dict[int, WorkerView] = {}
         #: FIFO order of workers that became fully free (ids; lazily pruned).
         self._free_order: list[int] = []
+        # Incremental aggregates: every WorkerView mutation flows through
+        # this class, so ready_workers / free_slot_count — read on every
+        # dispatch decision via can_place — stay O(1) instead of scanning
+        # the worker table.  _audit() cross-checks them in tests.
+        self._ready_count = 0
+        self._free_slots_total = 0
 
     def _transition(self, category: str, view: WorkerView) -> None:
         """Log a worker idle/busy transition; repeats are collapsed.
@@ -98,11 +104,19 @@ class Aggregator:
         if view.worker_id in self._workers:
             raise ValueError(f"duplicate worker id {view.worker_id}")
         self._workers[view.worker_id] = view
+        if view.alive:
+            self._free_slots_total += view.free_slots
+            if view.fully_free:
+                self._ready_count += 1
 
     def remove_worker(self, worker_id: int) -> Optional[WorkerView]:
         """Drop a dead worker from all pools; returns its view if known."""
         view = self._workers.pop(worker_id, None)
         if view is not None:
+            if view.alive:
+                self._free_slots_total -= view.free_slots
+                if view.fully_free:
+                    self._ready_count -= 1
             view.alive = False
         return view
 
@@ -123,27 +137,37 @@ class Aggregator:
         if view is None or not view.alive:
             return
         was_free = view.fully_free
+        old_slots = view.free_slots
         if all_slots:
             view.free_slots = view.slots
         else:
             view.free_slots = min(view.slots, view.free_slots + 1)
+        self._free_slots_total += view.free_slots - old_slots
         view.last_seen = now
         if not view.running_jobs:
             self._transition(WORKER_IDLE, view)
         if view.fully_free:
             view.ready_since = now
             if not was_free:
+                self._ready_count += 1
                 self._free_order.append(worker_id)
 
     @property
     def ready_workers(self) -> int:
-        """Count of fully free workers."""
-        return sum(1 for v in self._workers.values() if v.fully_free)
+        """Count of fully free workers (O(1), incrementally maintained)."""
+        return self._ready_count
 
     @property
     def free_slot_count(self) -> int:
-        """Total free slots across live workers."""
-        return sum(v.free_slots for v in self._workers.values() if v.alive)
+        """Total free slots across live workers (O(1), incrementally
+        maintained)."""
+        return self._free_slots_total
+
+    def _audit(self) -> tuple[int, int]:
+        """Recount both aggregates by scanning (test cross-check only)."""
+        ready = sum(1 for v in self._workers.values() if v.fully_free)
+        slots = sum(v.free_slots for v in self._workers.values() if v.alive)
+        return ready, slots
 
     # -- placement ---------------------------------------------------------------
 
@@ -159,7 +183,10 @@ class Aggregator:
             raise RuntimeError(f"cannot place {job.job_id} now")
         if not job.mpi:
             view = self._first_with_slot()
+            if view.fully_free:
+                self._ready_count -= 1
             view.free_slots -= 1
+            self._free_slots_total -= 1
             view.running_jobs.add(job.job_id)
             self._transition(WORKER_BUSY, view)
             return [view]
@@ -169,6 +196,9 @@ class Aggregator:
             else self._pick_topology(job.nodes)
         )
         for view in chosen:
+            if view.fully_free:
+                self._ready_count -= 1
+            self._free_slots_total -= view.free_slots
             view.free_slots = 0
             view.running_jobs.add(job.job_id)
             self._transition(WORKER_BUSY, view)

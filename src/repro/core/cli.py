@@ -13,6 +13,8 @@ Usage::
     jets lint-trace RUN.jsonl
     jets explore [--schedules N] [--seed S]
     jets chaos [--plans N] [--seed S]
+    jets bench [--suite kernel|macro|all] [--quick]
+               [--against BENCH.json] [--threshold PCT]
 
 ``TASKFILE`` uses the paper's input format, e.g.::
 
@@ -35,7 +37,10 @@ trace and wire-protocol checkers (:mod:`repro.analysis.explore`).
 ``jets chaos`` runs seeded multi-fault chaos plans (crashes, stragglers,
 message drop/delay, partitions, staging faults) with the recovery
 machinery enabled, held to the same validators plus exact job
-accounting (:mod:`repro.core.chaos`).
+accounting (:mod:`repro.core.chaos`).  ``jets bench`` runs the
+performance workload suites and writes ``BENCH_<suite>.json``
+(:mod:`repro.bench`); with ``--against`` it gates on wall-time
+regression versus a saved baseline.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ import sys
 from typing import Optional, Sequence
 
 from ..cluster.machine import breadboard, eureka, generic_cluster, surveyor
-from ..obs.export import jsonl_runs
+from ..obs.export import jsonl_perf, jsonl_runs
 from ..obs.report import render_report
 from ..obs.session import session as obs_scope, unwritable_reason
 from .jets import FaultSpec, JetsConfig, Simulation, service_config_for
@@ -143,6 +148,7 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_report_parser().parse_args(argv)
     try:
         runs = jsonl_runs(args.tracefile)
+        perf = jsonl_perf(args.tracefile)
     except OSError as exc:
         print(f"jets: cannot read {args.tracefile}: {exc}", file=sys.stderr)
         return 2
@@ -153,7 +159,13 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"jets: {args.tracefile} holds no trace records", file=sys.stderr)
         return 1
     for run_id in sorted(runs):
-        print(render_report(runs[run_id], title=f"run {run_id}"))
+        print(
+            render_report(
+                runs[run_id],
+                title=f"run {run_id}",
+                perf=perf.get(run_id),
+            )
+        )
     return 0
 
 
@@ -179,6 +191,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .chaos import chaos_main
 
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        from ..bench.cli import bench_main
+
+        return bench_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     for path in (args.trace_out, args.chrome_trace):
         reason = unwritable_reason(path)

@@ -390,8 +390,9 @@ class JetsDispatcher:
         )
         # Abort any MPI jobs this worker was part of (the mpiexec failure
         # path returns ok=False and the job is resubmitted); requeue serial
-        # jobs that died with the worker.
-        for job_id in list(view.running_jobs):
+        # jobs that died with the worker.  Sorted: set order hangs on the
+        # process hash seed, and the abort/requeue order is trace-visible.
+        for job_id in sorted(view.running_jobs):
             controller = self._controllers.get(job_id)
             if controller is not None:
                 controller.abort(f"worker {view.worker_id} lost: {reason}")

@@ -73,15 +73,12 @@ def run(
     t_origin = worker_starts[0] if worker_starts else 0.0
     # Serial jobs have no mpiexec app stamps; build "running" from
     # dispatch→done spans instead.
-    starts = [
-        r.time - t_origin for r in trace.records if r.category == "job.dispatch"
-    ]
+    starts = [t - t_origin for t in trace.times("job.dispatch")]
+    # A retry record marks the end of a dispatch attempt that died with
+    # its worker, so it closes that attempt's interval.
     dones = [
         r.time - t_origin
-        for r in trace.records
-        # A retry record marks the end of a dispatch attempt that died
-        # with its worker, so it closes that attempt's interval.
-        if r.category in ("job.done", "job.failed", "job.retry")
+        for r in trace.select_any(("job.done", "job.failed", "job.retry"))
     ]
     from ..metrics.timeline import step_series
 

@@ -110,16 +110,27 @@ class Fabric:
         #: Hop count charged when an endpoint lies outside the topology
         #: (e.g. the login/submit host reached through the I/O network).
         self.external_hops = external_hops
+        # Hop counts are pure in (src, dst) and queried once per message,
+        # so a campaign recomputes the same few pairs millions of times;
+        # memoize them (endpoint pairs are bounded by the allocation size).
+        self._hops_cache: dict[tuple[int, int], int] = {}
 
     def hops(self, src: int, dst: int) -> int:
         """Topology hop count between endpoints (1 if no topology)."""
+        try:
+            return self._hops_cache[(src, dst)]
+        except KeyError:
+            pass
         if src == dst:
-            return 0
-        if self.topology is None:
-            return 1
-        if src >= self.topology.n or dst >= self.topology.n or src < 0 or dst < 0:
-            return self.external_hops
-        return self.topology.hops(src, dst)
+            count = 0
+        elif self.topology is None:
+            count = 1
+        elif src >= self.topology.n or dst >= self.topology.n or src < 0 or dst < 0:
+            count = self.external_hops
+        else:
+            count = self.topology.hops(src, dst)
+        self._hops_cache[(src, dst)] = count
+        return count
 
     def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
         """One-way delivery time between endpoints ``src`` and ``dst``."""

@@ -27,7 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
-from ..simkernel import Environment, Event, Store
+from ..simkernel import Environment, Event, Store, Timeout
 from .fabric import Fabric
 
 __all__ = [
@@ -102,6 +102,10 @@ class Socket:
         self._peer: Optional["Socket"] = None
         self._closed = False
         self._last_arrival = 0.0
+        # Hot-path caches: the fabric spec is immutable for the lifetime
+        # of the network, and send() runs once per control-plane message.
+        self._fabric = network.fabric
+        self._sw_overhead = network.fabric.spec.sw_overhead
         # In-flight items in send order; delivery callbacks pop the head,
         # so per-direction FIFO holds even when same-time deliveries are
         # permuted by a non-default kernel SchedulingOrder.
@@ -119,36 +123,47 @@ class Socket:
         stack (send-side cost); delivery at the peer happens transfer-time
         later, FIFO-ordered per direction.
         """
-        if self._closed or self._peer is None:
+        peer = self._peer
+        if self._closed or peer is None:
             ev = Event(self._network.env)
             ev.fail(ConnectionClosed(f"send on closed socket {self!r}"))
             ev._defused = False
             return ev
-        env = self._network.env
-        self._network._notify_taps(self, payload, nbytes)
-        dropped, extra = self._network._impair(
-            "send", self.local, self.remote, self.service, nbytes
+        network = self._network
+        env = network.env
+        if network._taps:
+            network._notify_taps(self, payload, nbytes)
+        dropped, extra = (
+            network._impair(
+                "send", self.local, self.remote, self.service, nbytes
+            )
+            if network._impairments
+            else (False, 0.0)
         )
         if dropped:
             # The sender still pays its software overhead; the fabric
             # silently loses the message (no peer-side event at all).
-            return env.timeout(self._network.fabric.spec.sw_overhead)
-        t = self._network.fabric.transfer_time(self.local, self.remote, nbytes)
+            return Timeout(env, self._sw_overhead)
+        t = self._fabric.transfer_time(self.local, self.remote, nbytes)
         if extra:
             # Injected latency delays *this* message; the FIFO clamp below
             # then pushes every later message behind it, so per-direction
             # ordering survives impairment.
             t += extra
-        arrival = max(env.now + t, self._peer._last_arrival)
-        self._peer._last_arrival = arrival
-        peer = self._peer
+        now = env._now
+        arrival = now + t
+        if arrival < peer._last_arrival:
+            arrival = peer._last_arrival
+        peer._last_arrival = arrival
         peer._pending.append(Message(payload, nbytes))
-        deliver = env.timeout(arrival - env.now)
-        deliver._add_callback(lambda _e: peer._deliver_next())
+        # The delivery timeout is freshly constructed, so its callback
+        # list is live: append the bound method directly instead of
+        # paying _add_callback plus a closure per message.
+        Timeout(env, arrival - now).callbacks.append(peer._deliver_next)
         # Sender-side completion: software overhead only.
-        return env.timeout(self._network.fabric.spec.sw_overhead)
+        return Timeout(env, self._sw_overhead)
 
-    def _deliver_next(self) -> None:
+    def _deliver_next(self, _event: Optional[Event] = None) -> None:
         # One callback per queued item: popping the head preserves send
         # order under any tie permutation of the delivery timeouts.
         item = self._pending.popleft()
@@ -204,7 +219,7 @@ class Socket:
             peer._last_arrival = arrival
             peer._pending.append(_CLOSE)
             deliver = env.timeout(arrival - env.now)
-            deliver._add_callback(lambda _e: peer._deliver_next())
+            deliver.callbacks.append(peer._deliver_next)
 
     def __repr__(self) -> str:
         return f"<Socket {self.local}->{self.remote}>"

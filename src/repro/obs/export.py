@@ -21,6 +21,7 @@ __all__ = [
     "to_jsonl",
     "read_jsonl",
     "jsonl_runs",
+    "jsonl_perf",
     "to_chrome_trace",
     "chrome_events",
     "sanitize",
@@ -51,11 +52,16 @@ def to_jsonl(
     run: Optional[int] = None,
     label: str = "",
     append: bool = False,
+    perf: Optional[dict] = None,
 ) -> int:
     """Write trace records as JSON lines; returns the record count.
 
     ``run``/``label`` tag every line so multi-run sessions (one line of
-    an experiment sweep per run) stay separable on reload.
+    an experiment sweep per run) stay separable on reload.  ``perf``
+    (kernel events processed, record count, simulated seconds — all
+    seed-deterministic, never wall-clock, so same-seed dumps stay
+    byte-identical) is appended as one ``{"meta": "perf", ...}`` trailer
+    line that record readers skip and :func:`jsonl_perf` collects.
     """
     records = source.records if isinstance(source, Trace) else source
     close = False
@@ -76,6 +82,12 @@ def to_jsonl(
                 line["label"] = label
             fh.write(json.dumps(line, separators=(",", ":")) + "\n")
             n += 1
+        if perf is not None:
+            trailer: dict = {"meta": "perf"}
+            if run is not None:
+                trailer["run"] = run
+            trailer.update(sanitize(perf))
+            fh.write(json.dumps(trailer, separators=(",", ":")) + "\n")
     finally:
         if close:
             fh.close()
@@ -102,6 +114,8 @@ def read_jsonl(
             if not raw:
                 continue
             obj = json.loads(raw)
+            if "meta" in obj:
+                continue
             if run is not None and obj.get("run", 0) != run:
                 continue
             records.append(
@@ -132,6 +146,8 @@ def jsonl_runs(source: Union[str, IO[str]]) -> dict[int, list[TraceRecord]]:
             if not raw:
                 continue
             obj = json.loads(raw)
+            if "meta" in obj:
+                continue
             runs.setdefault(obj.get("run", 0), []).append(
                 TraceRecord(
                     time=float(obj["t"]),
@@ -143,6 +159,38 @@ def jsonl_runs(source: Union[str, IO[str]]) -> dict[int, list[TraceRecord]]:
         if close:
             fh.close()
     return runs
+
+
+def jsonl_perf(source: Union[str, IO[str]]) -> dict[int, dict]:
+    """Collect per-run perf trailers from a JSONL dump (may be empty).
+
+    Returns ``run -> {"events": ..., "records": ..., "sim_s": ...}`` for
+    every ``{"meta": "perf"}`` line; dumps written before the trailer
+    existed simply yield ``{}``.
+    """
+    close = False
+    if isinstance(source, str):
+        fh = open(source)
+        close = True
+    else:
+        fh = source
+    perf: dict[int, dict] = {}
+    try:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            obj = json.loads(raw)
+            if obj.get("meta") != "perf":
+                continue
+            run = obj.get("run", 0)
+            perf[run] = {
+                k: v for k, v in obj.items() if k not in ("meta", "run")
+            }
+    finally:
+        if close:
+            fh.close()
+    return perf
 
 
 def _us(t: float) -> float:

@@ -78,6 +78,15 @@ class RunReport:
     stages: dict[str, dict] = field(default_factory=dict)
     #: Registry snapshot (live runs only; absent when rebuilt from JSONL).
     instruments: dict[str, dict] = field(default_factory=dict)
+    #: Performance: kernel events the run's environment processed.
+    events_processed: Optional[int] = None
+    #: Performance: total trace records the run logged.
+    trace_records: Optional[int] = None
+    #: Performance: simulated seconds the environment advanced.
+    sim_seconds: Optional[float] = None
+    #: Performance: wall seconds (live sessions only — never from JSONL,
+    #: whose perf trailer is deterministic by construction).
+    wall_seconds: Optional[float] = None
 
     @classmethod
     def from_spans(
@@ -85,6 +94,7 @@ class RunReport:
         spans: RunSpans,
         registry: Optional[Registry] = None,
         allocation_nodes: Optional[int] = None,
+        perf: Optional[dict] = None,
     ) -> "RunReport":
         """Compute every summary quantity from a run's spans."""
         jobs = spans.job_list()
@@ -175,6 +185,10 @@ class RunReport:
                 if h.count
             },
             instruments=registry.snapshot() if registry is not None else {},
+            events_processed=(perf or {}).get("events"),
+            trace_records=(perf or {}).get("records"),
+            sim_seconds=(perf or {}).get("sim_s"),
+            wall_seconds=(perf or {}).get("wall_s"),
         )
 
     @classmethod
@@ -183,10 +197,22 @@ class RunReport:
         source: Union[Trace, Iterable[TraceRecord]],
         registry: Optional[Registry] = None,
         allocation_nodes: Optional[int] = None,
+        perf: Optional[dict] = None,
     ) -> "RunReport":
-        """Build the report straight from trace records."""
+        """Build the report straight from trace records.
+
+        A live :class:`Trace` fills the performance fields from its
+        environment automatically; reloaded record lists rely on the
+        caller passing ``perf`` (e.g. from a JSONL perf trailer).
+        """
+        if perf is None and isinstance(source, Trace):
+            perf = {
+                "events": source.env.events_processed,
+                "records": len(source.records),
+                "sim_s": source.env.now,
+            }
         return cls.from_spans(
-            build_spans(source), registry, allocation_nodes
+            build_spans(source), registry, allocation_nodes, perf=perf
         )
 
     def render(self, title: str = "") -> str:
@@ -267,6 +293,33 @@ class RunReport:
             lines.append(
                 f"dispatcher service-loop occupancy: {occ['mean']:.1%} mean"
             )
+        if (
+            self.events_processed is not None
+            or self.trace_records is not None
+            or self.sim_seconds is not None
+        ):
+            parts = []
+            if self.events_processed is not None:
+                parts.append(f"{self.events_processed} kernel events")
+            if self.trace_records is not None:
+                parts.append(f"{self.trace_records} trace records")
+            if self.sim_seconds is not None:
+                parts.append(f"sim {self.sim_seconds:.3f} s")
+            lines.append("performance: " + ", ".join(parts))
+            if self.wall_seconds is not None and self.wall_seconds > 0:
+                ratio = (
+                    f", sim/wall {self.sim_seconds / self.wall_seconds:.1f}x"
+                    if self.sim_seconds is not None
+                    else ""
+                )
+                rate = (
+                    f", {self.events_processed / self.wall_seconds:,.0f} events/s"
+                    if self.events_processed is not None
+                    else ""
+                )
+                lines.append(
+                    f"  wall {self.wall_seconds:.3f} s{ratio}{rate}"
+                )
         return "\n".join(lines)
 
 
@@ -275,7 +328,13 @@ def render_report(
     registry: Optional[Registry] = None,
     title: str = "",
     allocation_nodes: Optional[int] = None,
+    perf: Optional[dict] = None,
 ) -> str:
     """One-call convenience: spans/trace in, text report out."""
-    spans = source if isinstance(source, RunSpans) else build_spans(source)
-    return RunReport.from_spans(spans, registry, allocation_nodes).render(title)
+    if isinstance(source, RunSpans):
+        return RunReport.from_spans(
+            source, registry, allocation_nodes, perf=perf
+        ).render(title)
+    return RunReport.from_trace(
+        source, registry, allocation_nodes, perf=perf
+    ).render(title)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from typing import IO, Optional
 
 from ..simkernel import Trace
@@ -64,6 +65,9 @@ class ObsSession:
         self.report = report
         self.report_stream = report_stream
         self.runs: list[tuple[str, Trace, Optional[Registry]]] = []
+        #: Wall-clock stamp per attached run (for live report rendering
+        #: only — never exported, so trace dumps stay deterministic).
+        self._attach_walls: list[float] = []
 
     def attach(
         self,
@@ -73,6 +77,8 @@ class ObsSession:
     ) -> None:
         """Register one run's trace (called by Platform.__init__)."""
         self.runs.append((label, trace, registry))
+        # Sessions measure wall time by design; sim code stays clock-free.
+        self._attach_walls.append(time.perf_counter())  # repro: noqa[DT001]
 
     def __enter__(self) -> "ObsSession":
         _STACK.append(self)
@@ -94,7 +100,19 @@ class ObsSession:
             try:
                 with open(self.trace_out, "w") as fh:
                     for i, (label, trace, _reg) in enumerate(self.runs):
-                        to_jsonl(trace, fh, run=i, label=label)
+                        to_jsonl(
+                            trace,
+                            fh,
+                            run=i,
+                            label=label,
+                            # Deterministic perf trailer (no wall-clock):
+                            # same-seed dumps must stay byte-identical.
+                            perf={
+                                "events": trace.env.events_processed,
+                                "records": len(trace.records),
+                                "sim_s": trace.env.now,
+                            },
+                        )
             except OSError as exc:
                 # Don't lose the report (or raise after a long sweep)
                 # over an unwritable dump path.
@@ -111,10 +129,27 @@ class ObsSession:
                       file=sys.stderr)
         if self.report:
             stream = self.report_stream or sys.stdout
+            flush_wall = time.perf_counter()  # repro: noqa[DT001]
             for i, (label, trace, registry) in enumerate(self.runs):
                 title = label or f"run {i}"
+                perf = {
+                    "events": trace.env.events_processed,
+                    "records": len(trace.records),
+                    "sim_s": trace.env.now,
+                }
+                # Runs execute sequentially, so a run's wall window ends
+                # where the next platform is built (or at flush).
+                if i < len(self._attach_walls):
+                    end = (
+                        self._attach_walls[i + 1]
+                        if i + 1 < len(self._attach_walls)
+                        else flush_wall
+                    )
+                    perf["wall_s"] = end - self._attach_walls[i]
                 print(
-                    render_report(trace, registry=registry, title=title),
+                    render_report(
+                        trace, registry=registry, title=title, perf=perf
+                    ),
                     file=stream,
                 )
 

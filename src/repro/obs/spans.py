@@ -281,17 +281,43 @@ def _worker_span(run: RunSpans, worker_id: int) -> WorkerSpan:
     return span
 
 
+_SPAN_FAMILIES = ("job.", "worker.", "proxy.", "fault.")
+
+
 def build_spans(
     source: Union[Trace, Iterable[TraceRecord]],
 ) -> RunSpans:
-    """Assemble lifecycle spans from a trace (or raw record iterable)."""
+    """Assemble lifecycle spans from a trace (or raw record iterable).
+
+    A live :class:`Trace` is consumed through its category index: only
+    lifecycle-family records are visited (counter ticks — often the bulk
+    of a run's records — are skipped entirely), while ``t_first`` /
+    ``t_last`` still come from the full record list so the reported run
+    window is unchanged.  Raw record iterables (the JSONL reload path)
+    are scanned as before.
+    """
     records: Iterable[TraceRecord]
-    records = source.records if isinstance(source, Trace) else source
     run = RunSpans()
+    track_window = True
+    if isinstance(source, Trace):
+        if source.records:
+            run.t_first = source.records[0].time
+            run.t_last = source.records[-1].time
+        records = source.select_any(
+            [
+                c
+                for c in source.categories()
+                if c.startswith(_SPAN_FAMILIES) or c == "run.allocation"
+            ]
+        )
+        track_window = False
+    else:
+        records = source
     for rec in records:
-        if run.t_first is None:
-            run.t_first = rec.time
-        run.t_last = rec.time
+        if track_window:
+            if run.t_first is None:
+                run.t_first = rec.time
+            run.t_last = rec.time
         cat, data = rec.category, rec.data or {}
         if cat.startswith("job."):
             _apply_job(run, rec.time, cat[4:], data)

@@ -69,7 +69,14 @@ class Event:
     Processes ``yield`` events to wait for them.  An event is *triggered*
     once :meth:`succeed` or :meth:`fail` has been called; its callbacks run
     when the scheduler pops it from the event heap.
+
+    Events are the kernel's unit of allocation — a 512-node campaign
+    churns through millions — so the whole hierarchy is ``__slots__``-ed
+    and subclasses write their fields directly instead of paying for
+    chained ``__init__`` double-writes.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -108,7 +115,14 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL)
+        # Inlined Environment._schedule fast path (succeed is the single
+        # hottest scheduling site); the tiebreak branch stays out of line.
+        env = self.env
+        if env._order is None:
+            env._seq += 1
+            heapq.heappush(env._heap, (env._now, NORMAL, env._seq, self))
+        else:
+            env._schedule(self, NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,12 +139,8 @@ class Event:
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.callbacks is None:
             # Already processed: run immediately at the current time via a
-            # zero-delay bridge event so ordering stays deterministic.
-            bridge = Event(self.env)
-            bridge.callbacks.append(lambda _e: callback(self))
-            bridge._ok = self._ok
-            bridge._value = self._value if self._value is not PENDING else None
-            self.env._schedule(bridge, URGENT)
+            # zero-delay relay event so ordering stays deterministic.
+            _Relay(self.env, self, callback)
         else:
             self.callbacks.append(callback)
 
@@ -138,17 +148,65 @@ class Event:
         return f"<{self.__class__.__name__} at {id(self):#x}>"
 
 
+class _Relay(Event):
+    """Zero-delay bridge re-delivering an already-processed event.
+
+    Mirrors the origin's outcome — including ``_defused``, so a late
+    listener on an already-handled failure does not re-raise it at
+    :meth:`Environment.step` — and delivers the *origin* (not itself) to
+    the callback, so listeners can't tell a relayed delivery from a
+    direct one.  If the listener defuses the origin's failure during
+    delivery, that defusal propagates back to the relay too.
+    """
+
+    __slots__ = ("_origin", "_callback")
+
+    def __init__(
+        self,
+        env: "Environment",
+        origin: Event,
+        callback: Callable[[Event], None],
+    ):
+        self.env = env
+        self.callbacks = [self._fire]
+        self._value = origin._value if origin._value is not PENDING else None
+        self._ok = origin._ok
+        self._defused = origin._defused
+        self._origin = origin
+        self._callback = callback
+        env._schedule(self, URGENT)
+
+    def _fire(self, _relay: Event) -> None:
+        self._callback(self._origin)
+        if not self._ok and self._origin._defused:
+            self._defused = True
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__: timeouts are born triggered, so write
+        # the final field values once instead of PENDING-then-overwrite.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        # Inlined Environment._schedule fast path (timeouts dominate the
+        # heap in transfer-heavy campaigns).
+        if env._order is None:
+            env._seq += 1
+            heapq.heappush(
+                env._heap, (env._now + delay, NORMAL, env._seq, self)
+            )
+        else:
+            env._schedule(self, NORMAL, delay)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout is triggered automatically")
@@ -160,11 +218,14 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self._defused = False
         env._schedule(self, URGENT)
 
 
@@ -176,6 +237,8 @@ class Process(Event):
     its exception.  The return value of the generator becomes the value of
     the process-as-event.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
@@ -207,7 +270,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         # Ignore resumptions from a stale target (e.g. the event we were
         # waiting on fires after an interrupt already moved us on).
-        if not self.is_alive:
+        # is_alive / processed / _add_callback are inlined below: this is
+        # the kernel's hottest function (every generator step runs it).
+        if self._value is not PENDING:  # not alive
             if not event._ok:
                 event._defused = True
             return
@@ -217,30 +282,32 @@ class Process(Event):
             if not event._ok:
                 event._defused = True
             return
-        self.env._active_process = self
-        self.env._active_generator = self._generator
+        env = self.env
+        generator = self._generator
+        env._active_process = self
+        env._active_generator = generator
         try:
             while True:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = generator.throw(event._value)
                 if not isinstance(next_target, Event):
-                    next_target = self._generator.throw(
+                    next_target = generator.throw(
                         SimulationError(
                             f"process {self.name!r} yielded a non-event: "
                             f"{next_target!r}"
                         )
                     )
-                if next_target.env is not self.env:
+                if next_target.env is not env:
                     raise SimulationError("yielded event from another environment")
                 self._target = next_target
-                if next_target.processed:
-                    # Event already done: loop immediately with its value.
+                callbacks = next_target.callbacks
+                if callbacks is None:  # processed: loop with its value
                     event = next_target
                     continue
-                next_target._add_callback(self._resume)
+                callbacks.append(self._resume)
                 break
         except StopIteration as stop:
             self._target = None
@@ -260,6 +327,8 @@ class Process(Event):
 
 class Condition(Event):
     """Waits for a set of events per an evaluation function."""
+
+    __slots__ = ("_events", "_evaluate", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event], evaluate):
         super().__init__(env)
@@ -300,12 +369,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when all given events have succeeded (fails on first failure)."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda evs, count: count == len(evs))
 
 
 class AnyOf(Condition):
     """Triggers when at least one of the given events has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda evs, count: count >= 1)
@@ -322,6 +395,8 @@ class SchedulingOrder:
     exhibit, which is what the bounded schedule explorer leans on.
     """
 
+    __slots__ = ()
+
     def tiebreak(self, event: "Event") -> float:
         """Tiebreak key for one newly scheduled event (lower pops first)."""
         return 0.0
@@ -334,6 +409,8 @@ class SeededOrder(SchedulingOrder):
     needs no RNG dependency and two runs with the same seed replay the
     same schedule exactly.  Seed 0 is reserved for the FIFO baseline.
     """
+
+    __slots__ = ("seed", "_state")
 
     _MASK = (1 << 64) - 1
     _MIX = 0x2545F4914F6CDD1D
@@ -373,17 +450,34 @@ class Environment:
         assert p.value == 5.0
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_order",
+        "_active_process",
+        "_active_generator",
+        "events_processed",
+    )
+
     def __init__(
         self,
         initial_time: float = 0.0,
         order: Optional[SchedulingOrder] = None,
     ):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, float, int, Event]] = []
+        # Heap entries are ``(time, priority, seq, event)`` under the
+        # default FIFO order and ``(time, priority, tiebreak, seq, event)``
+        # when a SchedulingOrder injects tiebreaks; consumers only touch
+        # ``entry[0]`` (time) and ``entry[-1]`` (event), so both arities
+        # coexist with the comparison semantics unchanged per-environment.
+        self._heap: list[tuple] = []
         self._seq = 0
         self._order = order
         self._active_process: Optional[Process] = None
         self._active_generator: Optional[Generator] = None
+        #: Events popped and delivered so far (read by ``jets bench``).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -421,11 +515,23 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        tiebreak = 0.0 if self._order is None else self._order.tiebreak(event)
-        heapq.heappush(
-            self._heap,
-            (self._now + delay, priority, tiebreak, self._seq, event),
-        )
+        if self._order is None:
+            # Fast path: the FIFO baseline needs no tiebreak slot at all.
+            heapq.heappush(
+                self._heap,
+                (self._now + delay, priority, self._seq, event),
+            )
+        else:
+            heapq.heappush(
+                self._heap,
+                (
+                    self._now + delay,
+                    priority,
+                    self._order.tiebreak(event),
+                    self._seq,
+                    event,
+                ),
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -435,8 +541,10 @@ class Environment:
         """Process the next scheduled event."""
         if not self._heap:
             raise SimulationError("no more events")
-        when, _prio, _tie, _seq, event = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        when, event = entry[0], entry[-1]
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -462,16 +570,41 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError("until is in the past")
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
+        # Inlined hot loop (equivalent to repeated `step()` calls): all
+        # events at one timestamp are popped in a single inner batch,
+        # skipping the per-event peek/stop checks that can't change
+        # within a batch.  Events scheduled by a callback are never
+        # earlier than `now`, so same-time arrivals join the current
+        # batch in exactly the order `step()` would have popped them;
+        # the stop event is still re-checked after every event so
+        # `until`-capped runs process precisely the same prefix.
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            # `callbacks is None` is the inlined `processed` property.
+            if stop_event is not None and stop_event.callbacks is None:
                 if not stop_event._ok:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_time:
+            when = heap[0][0]
+            if when > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            self._now = when
+            while heap and heap[0][0] == when:
+                event = heappop(heap)[-1]
+                self.events_processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(
+                        exc, BaseException
+                    ) else SimulationError(repr(exc))
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
 
         if stop_event is not None:
             if stop_event.processed:

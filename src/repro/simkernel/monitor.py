@@ -8,6 +8,8 @@ instruments worker/task start/stop times (Section 6.1.5).
 
 from __future__ import annotations
 
+import sys
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -16,42 +18,125 @@ from .core import Environment
 __all__ = ["TraceRecord", "Trace", "Counter", "Gauge", "IntervalLog"]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry: (time, category, payload)."""
+    """One trace entry: (time, category, payload).
 
-    time: float
-    category: str
-    data: Any = None
+    A slotted plain class rather than a dataclass: traces are the
+    densest allocation site in a run (every lifecycle transition, wire
+    message, and counter tick is one record), and the frozen-dataclass
+    ``object.__setattr__`` path plus per-instance ``__dict__`` cost
+    measurably at fig09 scale.
+    """
+
+    __slots__ = ("time", "category", "data")
+
+    def __init__(self, time: float, category: str, data: Any = None):
+        self.time = time
+        self.category = category
+        self.data = data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.data == other.data
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.category))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time={self.time!r}, category={self.category!r}, "
+            f"data={self.data!r})"
+        )
 
 
 class Trace:
-    """Append-only event trace with category filtering."""
+    """Append-only event trace with indexed category filtering.
+
+    Alongside the flat ``records`` list, the trace maintains a
+    per-category index of record positions, built incrementally on
+    :meth:`log`.  Category strings are interned (the same few dozen
+    constants repeat millions of times), and :meth:`select` /
+    :meth:`times` answer in O(matches) instead of scanning every record
+    — they are called once per category by the report renderer, span
+    builder, trace linter, and protocol validator.
+    """
 
     def __init__(self, env: Environment):
         self.env = env
         self.records: list[TraceRecord] = []
+        #: category -> ascending record indices (insertion-ordered keys).
+        self._index: dict[str, list[int]] = {}
 
     def log(self, category: str, data: Any = None) -> None:
         """Record ``data`` under ``category`` at the current sim time."""
-        self.records.append(TraceRecord(self.env.now, category, data))
+        category = sys.intern(category)
+        records = self.records
+        bucket = self._index.get(category)
+        if bucket is None:
+            bucket = self._index[category] = []
+        bucket.append(len(records))
+        records.append(TraceRecord(self.env.now, category, data))
+
+    def categories(self, prefix: str = "") -> list[str]:
+        """Distinct categories (optionally under ``prefix``), in first-
+        appearance order."""
+        if prefix:
+            return [c for c in self._index if c.startswith(prefix)]
+        return list(self._index)
+
+    def _indices(self, category: str, prefix: bool) -> list[int]:
+        """Ascending record indices matching a category (or prefix)."""
+        if not prefix:
+            return self._index.get(category, [])
+        buckets = [
+            b for c, b in self._index.items() if c.startswith(category)
+        ]
+        if len(buckets) == 1:
+            return buckets[0]
+        merged: list[int] = []
+        for b in buckets:
+            merged.extend(b)
+        merged.sort()
+        return merged
 
     def select(self, category: str, prefix: bool = False) -> list[TraceRecord]:
         """All records in ``category``, in time order.
 
         With ``prefix=True``, ``category`` matches as a prefix instead
         (``select("job.", prefix=True)`` returns every job-lifecycle
-        record in one scan).
+        record in one indexed lookup).
         """
-        if prefix:
-            return [r for r in self.records if r.category.startswith(category)]
-        return [r for r in self.records if r.category == category]
+        records = self.records
+        return [records[i] for i in self._indices(category, prefix)]
+
+    def select_any(self, categories: Iterable[str]) -> list[TraceRecord]:
+        """Records in any of the given exact categories, merged in time
+        order — one indexed lookup for multi-family consumers (the span
+        builder, Fig. 10 interval extraction)."""
+        buckets = [
+            self._index[c] for c in categories if c in self._index
+        ]
+        if not buckets:
+            return []
+        if len(buckets) == 1:
+            idx = buckets[0]
+        else:
+            idx = []
+            for b in buckets:
+                idx.extend(b)
+            idx.sort()
+        records = self.records
+        return [records[i] for i in idx]
 
     def times(self, category: str, prefix: bool = False) -> list[float]:
         """Timestamps of all records in ``category`` (or category prefix)."""
-        if prefix:
-            return [r.time for r in self.records if r.category.startswith(category)]
-        return [r.time for r in self.records if r.category == category]
+        records = self.records
+        return [records[i].time for i in self._indices(category, prefix)]
 
     def __len__(self) -> int:
         return len(self.records)
@@ -139,22 +224,39 @@ class Gauge:
         return list(self.samples)
 
     def integral(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
-        """Integrate the step function over [start, end] (defaults: full span)."""
-        if not self.samples:
+        """Integrate the step function over [start, end] (defaults: full span).
+
+        Bisects to the breakpoints covering the window, so a windowed
+        query over a long series costs O(log n + window) rather than a
+        full scan.  Segments outside [start, end] contribute exactly 0
+        in the scan formulation, so skipping them leaves the float
+        summation order — and therefore the result bits — unchanged.
+        """
+        samples = self.samples
+        if not samples:
             return 0.0
-        t0 = self.samples[0][0] if start is None else start
+        t0 = samples[0][0] if start is None else start
         t1 = self.env.now if end is None else end
         if t1 <= t0:
             return 0.0
+        # Last breakpoint at/before t0 .. first breakpoint at/after t1.
+        lo = bisect_right(samples, (t0, float("inf"))) - 1
+        if lo < 0:
+            lo = 0
+        hi = bisect_left(samples, (t1, float("-inf")))
         total = 0.0
-        for (ta, va), (tb, _vb) in zip(self.samples, self.samples[1:]):
-            lo, hi = max(ta, t0), min(tb, t1)
-            if hi > lo:
-                total += va * (hi - lo)
-        ta, va = self.samples[-1]
-        lo = max(ta, t0)
-        if t1 > lo:
-            total += va * (t1 - lo)
+        last = len(samples) - 1
+        for i in range(lo, min(hi, last)):
+            ta, va = samples[i]
+            seg_lo = ta if ta > t0 else t0
+            tb = samples[i + 1][0]
+            seg_hi = tb if tb < t1 else t1
+            if seg_hi > seg_lo:
+                total += va * (seg_hi - seg_lo)
+        ta, va = samples[last]
+        seg_lo = ta if ta > t0 else t0
+        if t1 > seg_lo:
+            total += va * (t1 - seg_lo)
         return total
 
     def mean(self, start: Optional[float] = None, end: Optional[float] = None) -> float:

@@ -15,7 +15,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Optional
 
-from .core import Environment, Event, SimulationError
+from .core import PENDING, Environment, Event, SimulationError
 
 __all__ = [
     "Resource",
@@ -37,8 +37,16 @@ class Request(Event):
             ...  # holding the resource
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ (one stack frame per core claim adds up
+        # at campaign scale).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -107,10 +115,13 @@ class Resource:
 
 
 class StoreGet(Event):
-    """Pending get on a store."""
+    """Pending get on a store.
 
-    def __init__(self, env: Environment):
-        super().__init__(env)
+    The ``filter`` slot exists for :class:`FilterStore`, which attaches
+    the predicate to the get event (plain stores leave it unset).
+    """
+
+    __slots__ = ("filter",)
 
 
 class Store:
@@ -138,17 +149,41 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> Event:
-        """Insert ``item``; the returned event fires once inserted."""
+        """Insert ``item``; the returned event fires once inserted.
+
+        Fast paths (valid for :class:`PriorityStore` via the
+        ``len(self)``/``_insert``/``_pop`` hooks; :class:`FilterStore`
+        overrides ``put``): with no queued putters and free capacity,
+        ``_dispatch`` reduces to an insert-and-succeed, plus at most one
+        hand-off when consumers are blocked — getters only ever wait
+        while the store is empty, so a single put can serve exactly the
+        head getter.
+        """
         ev = Event(self.env)
-        self._putters.append((ev, item))
-        self._dispatch()
+        if not self._putters and len(self) < self.capacity:
+            self._insert(item)
+            ev.succeed()
+            if self._getters:
+                self._getters.popleft().succeed(self._pop())
+        else:
+            self._putters.append((ev, item))
+            self._dispatch()
         return ev
 
     def get(self) -> StoreGet:
         """Remove and return the next item (event fires with the item)."""
         ev = StoreGet(self.env)
-        self._getters.append(ev)
-        self._dispatch()
+        # Mirror of the put fast path: with no queued putters,
+        # _dispatch can only hand the head item to the head getter —
+        # which is this get iff no getter is already waiting.
+        if not self._putters:
+            if not self._getters and len(self):
+                ev.succeed(self._pop())
+            else:
+                self._getters.append(ev)
+        else:
+            self._getters.append(ev)
+            self._dispatch()
         return ev
 
     def cancel_get(self, get_event: StoreGet) -> None:
@@ -159,18 +194,21 @@ class Store:
             pass
 
     def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        # succeed() only *schedules* callbacks (they run at the heap pop),
+        # so no new putters/getters can appear mid-dispatch: one
+        # putter-drain plus one getter-drain reaches the fixpoint unless
+        # getters freed capacity a blocked putter was waiting for.
+        while True:
             while self._putters and len(self._items) < self.capacity:
                 ev, item = self._putters.popleft()
                 self._insert(item)
                 ev.succeed()
-                progressed = True
+            if not (self._getters and self._items):
+                return
             while self._getters and self._items:
-                getter = self._getters.popleft()
-                getter.succeed(self._pop())
-                progressed = True
+                self._getters.popleft().succeed(self._pop())
+            if not self._putters:
+                return
 
     def _insert(self, item: Any) -> None:
         self._items.append(item)
@@ -203,49 +241,70 @@ class PriorityStore(Store):
         return heapq.heappop(self._heap)
 
     def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        # Same fixpoint argument as Store._dispatch.
+        while True:
             while self._putters and len(self._heap) < self.capacity:
                 ev, item = self._putters.popleft()
                 self._insert(item)
                 ev.succeed()
-                progressed = True
+            if not (self._getters and self._heap):
+                return
             while self._getters and self._heap:
-                getter = self._getters.popleft()
-                getter.succeed(self._pop())
-                progressed = True
+                self._getters.popleft().succeed(self._pop())
+            if not self._putters:
+                return
 
 
 class FilterStore(Store):
     """Store whose gets may carry a predicate selecting acceptable items."""
 
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once inserted.
+
+        No fast path here: filtered getters may wait while (unmatching)
+        items sit in the store, so Store.put's blind hand-off would
+        bypass the predicates — every put goes through ``_dispatch``.
+        """
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Get the first item satisfying ``filter`` (or any item if None)."""
         ev = StoreGet(self.env)
-        ev.filter = filter  # type: ignore[attr-defined]
+        ev.filter = filter
         self._getters.append(ev)
         self._dispatch()
         return ev
 
     def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
+        # One ordered pass: getters are offered items FIFO, each taking
+        # the first match.  Removing items never lets a previously
+        # unmatched getter match, so rescans are only needed when freed
+        # capacity admits blocked putters (new items for the leftovers).
+        while True:
             while self._putters and len(self._items) < self.capacity:
                 ev, item = self._putters.popleft()
                 self._items.append(item)
                 ev.succeed()
-                progressed = True
-            for getter in list(self._getters):
-                pred = getattr(getter, "filter", None)
-                for idx, item in enumerate(self._items):
-                    if pred is None or pred(item):
-                        del self._items[idx]
-                        self._getters.remove(getter)
-                        getter.succeed(item)
-                        progressed = True
-                        break
+            matched = False
+            if self._getters and self._items:
+                waiting: deque[StoreGet] = deque()
+                while self._getters:
+                    getter = self._getters.popleft()
+                    pred = getattr(getter, "filter", None)
+                    for idx, item in enumerate(self._items):
+                        if pred is None or pred(item):
+                            del self._items[idx]
+                            getter.succeed(item)
+                            matched = True
+                            break
+                    else:
+                        waiting.append(getter)
+                self._getters = waiting
+            if not (matched and self._putters):
+                return
 
     def _insert(self, item: Any) -> None:  # pragma: no cover - via _dispatch
         self._items.append(item)

@@ -75,7 +75,10 @@ class TestLintTrace:
     def test_corrupted_run_exits_one(self, trace_file, tmp_path, capsys):
         corrupted = tmp_path / "corrupted.jsonl"
         lines = trace_file.read_text().splitlines()
-        kept = [l for l in lines if json.loads(l)["cat"] != "job.grouped"]
+        # .get: the dump ends with a {"meta": "perf"} trailer line.
+        kept = [
+            l for l in lines if json.loads(l).get("cat") != "job.grouped"
+        ]
         assert len(kept) < len(lines)
         corrupted.write_text("\n".join(kept) + "\n")
         assert lint_trace_main([str(corrupted)]) == 1
@@ -94,7 +97,7 @@ class TestLintTrace:
         lines = trace_file.read_text().splitlines()
         kept = [
             l for l in lines
-            if json.loads(l)["cat"] not in ("job.grouped", "worker.start")
+            if json.loads(l).get("cat") not in ("job.grouped", "worker.start")
         ]
         corrupted.write_text("\n".join(kept) + "\n")
         assert lint_trace_main([str(corrupted), "--max-issues", "1"]) == 1

@@ -1,0 +1,247 @@
+"""Tests for the jets bench measurement harness and comparison gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    EVENT_GROWTH_TOLERANCE,
+    BenchResult,
+    SuiteRun,
+    compare_runs,
+    load_baseline,
+    run_suite,
+    run_workload,
+    write_suite,
+)
+from repro.bench.workloads import SUITES, Workload
+
+
+def toy_workload(name="toy", events=1000, sim_s=5.0, extra=None):
+    def fn(quick):
+        out = {"events": events, "sim_s": sim_s, "quick": quick}
+        out.update(extra or {})
+        return out
+
+    return Workload(name=name, fn=fn, doc="toy")
+
+
+class TestRunWorkload:
+    def test_lifts_events_and_sim_s(self):
+        r = run_workload(toy_workload(extra={"jobs": 7}), memory=False)
+        assert r.name == "toy"
+        assert r.wall_s > 0
+        assert r.events == 1000
+        assert r.sim_s == 5.0
+        assert r.events_per_s == pytest.approx(1000 / r.wall_s)
+        assert r.peak_rss_kb > 0
+        # Remaining keys become workload metadata.
+        assert r.meta == {"quick": False, "jobs": 7}
+        assert r.alloc_peak_kb is None  # memory pass was skipped
+
+    def test_memory_pass_fills_alloc_fields(self):
+        r = run_workload(toy_workload(), memory=True)
+        assert r.alloc_peak_kb is not None and r.alloc_peak_kb >= 0
+        assert r.alloc_net_blocks is not None
+
+    def test_quick_flag_reaches_workload(self):
+        r = run_workload(toy_workload(), quick=True, memory=False)
+        assert r.meta["quick"] is True
+
+    def test_repeats_run_the_workload_and_report_the_minimum(self):
+        calls = []
+
+        def fn(quick):
+            calls.append(quick)
+            return {"events": 10, "sim_s": 1.0}
+
+        wl = Workload(name="rep", fn=fn, doc="rep")
+        r = run_workload(wl, memory=False, repeats=4)
+        assert len(calls) == 4
+        # events/s is derived from the reported (minimum) wall time.
+        assert r.events_per_s == pytest.approx(10 / r.wall_s)
+
+    def test_repeats_recorded_in_suite_json(self):
+        run = SuiteRun(suite="kernel", quick=False, repeats=3)
+        assert run.to_json()["repeats"] == 3
+
+
+class TestSuiteRegistry:
+    def test_known_suites(self):
+        assert set(SUITES) == {"kernel", "macro"}
+        for workloads in SUITES.values():
+            assert workloads  # non-empty, in declaration order
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            run_suite("nope")
+
+
+class TestWriteAndLoad:
+    def _run(self, walls):
+        run = SuiteRun(suite="kernel", quick=False)
+        for name, wall in walls.items():
+            run.results.append(
+                BenchResult(name=name, wall_s=wall, events=100, sim_s=1.0)
+            )
+        return run
+
+    def test_round_trip(self, tmp_path):
+        run = self._run({"a": 0.5, "b": 1.0})
+        path = tmp_path / "BENCH_kernel.json"
+        doc = write_suite(run, str(path))
+        assert doc["schema"] == 1
+        assert doc["suite"] == "kernel"
+        assert set(doc["results"]) == {"a", "b"}
+        assert load_baseline(str(path)) == json.loads(path.read_text())
+
+    def test_baseline_and_speedup_sections(self, tmp_path):
+        run = self._run({"a": 0.5, "b": 1.0})
+        baseline = {
+            "schema": 1,
+            "suite": "kernel",
+            "results": {"a": {"wall_s": 1.0}, "b": {"wall_s": 0.5}},
+        }
+        doc = write_suite(
+            run, str(tmp_path / "out.json"), baseline, "old.json"
+        )
+        assert doc["baseline"]["source"] == "old.json"
+        assert doc["baseline"]["wall_s"] == {"a": 1.0, "b": 0.5}
+        assert doc["speedup"] == {"a": 2.0, "b": 0.5}
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"schema": 99, "results": {}}')
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestCompareRuns:
+    def _run(self, name="w", wall=1.0, events=1000, meta=None):
+        run = SuiteRun(suite="kernel", quick=False)
+        run.results.append(
+            BenchResult(
+                name=name, wall_s=wall, events=events, meta=meta or {}
+            )
+        )
+        return run
+
+    def _baseline(self, name="w", wall=1.0, events=1000, meta=None):
+        entry = {"wall_s": wall, "events": events}
+        if meta:
+            entry["meta"] = meta
+        return {"schema": 1, "suite": "kernel", "results": {name: entry}}
+
+    def test_within_threshold_is_ok(self):
+        cmp = compare_runs(
+            self._run(wall=1.2), self._baseline(wall=1.0), threshold_pct=25.0
+        )
+        assert cmp.ok
+        assert cmp.walls["w"] == (1.0, 1.2, pytest.approx(1.0 / 1.2))
+
+    def test_wall_regression_flagged(self):
+        cmp = compare_runs(
+            self._run(wall=1.5), self._baseline(wall=1.0), threshold_pct=25.0
+        )
+        assert not cmp.ok
+        assert "wall" in cmp.regressions[0]
+
+    def test_event_growth_flagged_even_when_wall_is_fine(self):
+        grown = int(1000 * EVENT_GROWTH_TOLERANCE) + 10
+        cmp = compare_runs(
+            self._run(wall=0.5, events=grown), self._baseline(wall=1.0)
+        )
+        assert not cmp.ok
+        assert "events" in cmp.regressions[0]
+
+    def test_meta_mismatch_skips_not_compares(self):
+        cmp = compare_runs(
+            self._run(wall=9.9, meta={"n": 10}),
+            self._baseline(wall=1.0, meta={"n": 1000}),
+        )
+        assert cmp.ok
+        assert cmp.skipped and "parameters differ" in cmp.skipped[0]
+
+    def test_workload_missing_from_baseline_skipped(self):
+        cmp = compare_runs(
+            self._run(name="new_thing"), self._baseline(name="other")
+        )
+        assert cmp.ok
+        assert "not in baseline" in cmp.skipped[0]
+
+
+class TestBenchCli:
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        from repro.bench.cli import bench_main
+
+        assert bench_main(
+            ["--against", str(tmp_path / "nope.json")]
+        ) == 2
+
+    def test_bad_out_dir_exits_two(self, tmp_path, capsys):
+        from repro.bench.cli import bench_main
+
+        assert bench_main(
+            ["--out-dir", str(tmp_path / "missing")]
+        ) == 2
+
+    def test_suite_run_writes_json_and_gates(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.bench.cli as cli
+        import repro.bench.harness as harness
+
+        fake = {"kernel": [toy_workload("a"), toy_workload("b")]}
+        monkeypatch.setattr(harness, "SUITES", fake)
+        monkeypatch.setattr(cli, "SUITES", fake)
+
+        out = tmp_path
+        assert cli.bench_main(
+            ["--suite", "kernel", "--out-dir", str(out), "--no-mem"]
+        ) == 0
+        path = out / "BENCH_kernel.json"
+        doc = json.loads(path.read_text())
+        assert set(doc["results"]) == {"a", "b"}
+
+        # Re-run against the file just written: same workloads, no
+        # meaningful wall delta, same event counts -> ok plus a speedup
+        # table in the output.
+        assert cli.bench_main(
+            [
+                "--suite", "kernel", "--out-dir", str(out), "--no-mem",
+                "--against", str(path), "--threshold", "10000",
+            ]
+        ) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_regression_exit_code(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.cli as cli
+        import repro.bench.harness as harness
+
+        fake = {"kernel": [toy_workload("a", events=5000)]}
+        monkeypatch.setattr(harness, "SUITES", fake)
+        monkeypatch.setattr(cli, "SUITES", fake)
+        baseline = tmp_path / "old.json"
+        baseline.write_text(json.dumps({
+            "schema": 1,
+            "suite": "kernel",
+            "results": {"a": {
+                "wall_s": 100.0, "events": 1000,
+                "meta": {"quick": False},
+            }},
+        }))
+        assert cli.bench_main(
+            [
+                "--suite", "kernel", "--out-dir", str(tmp_path), "--no-mem",
+                "--against", str(baseline),
+            ]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err

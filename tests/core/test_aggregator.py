@@ -169,3 +169,101 @@ class TestTopologyGrouping:
     def test_unknown_grouping_rejected(self):
         with pytest.raises(ValueError):
             Aggregator("fancy")
+
+
+class TestIncrementalAggregates:
+    """ready_workers / free_slot_count counters vs a full recount."""
+
+    def _check(self, agg):
+        ready, slots = agg._audit()
+        assert agg.ready_workers == ready
+        assert agg.free_slot_count == slots
+
+    def test_counters_track_membership_and_readiness(self, small_platform):
+        agg = Aggregator()
+        views = make_views(small_platform, 4, slots=2)
+        for v in views:
+            agg.add_worker(v)
+            self._check(agg)
+        for v in views:
+            for _ in range(v.slots):
+                agg.mark_ready(v.worker_id, now=0.0)
+                self._check(agg)
+        # Extra mark_ready on a full worker must not overcount.
+        agg.mark_ready(views[0].worker_id, now=1.0)
+        self._check(agg)
+        assert agg.free_slot_count == 8
+
+    def test_counters_through_place_release_cycles(self, small_platform):
+        agg = Aggregator()
+        for v in make_views(small_platform, 4, slots=2):
+            agg.add_worker(v)
+            agg.mark_ready(v.worker_id, now=0.0, all_slots=True)
+        self._check(agg)
+        serial = serial_job()
+        placed_serial = agg.place(serial)
+        self._check(agg)
+        group = agg.place(mpi_job(2))
+        self._check(agg)
+        for v in group:
+            agg.release(mpi_job(2), v.worker_id)
+            agg.mark_ready(v.worker_id, now=2.0, all_slots=True)
+            self._check(agg)
+        agg.release(serial, placed_serial[0].worker_id)
+        agg.mark_ready(placed_serial[0].worker_id, now=3.0)
+        self._check(agg)
+        assert agg.ready_workers == 4
+
+    def test_counters_after_worker_loss(self, small_platform):
+        agg = Aggregator()
+        views = make_views(small_platform, 3, slots=2)
+        for v in views:
+            agg.add_worker(v)
+            agg.mark_ready(v.worker_id, now=0.0, all_slots=True)
+        agg.place(mpi_job(1))  # one worker fully busy
+        self._check(agg)
+        for v in views:  # remove busy and idle workers alike
+            agg.remove_worker(v.worker_id)
+            self._check(agg)
+        assert agg.ready_workers == 0
+        assert agg.free_slot_count == 0
+        agg.remove_worker(99)  # unknown id is a no-op
+        self._check(agg)
+
+    def test_counters_under_random_op_sequence(self, small_platform):
+        import random
+
+        rng = random.Random(1234)
+        agg = Aggregator()
+        next_id = 0
+        live: list[int] = []
+        for _ in range(300):
+            op = rng.random()
+            if op < 0.25 or not live:
+                v = WorkerView(
+                    worker_id=next_id,
+                    node=small_platform.node(next_id % 4),
+                    socket=None,
+                    slots=rng.choice((1, 2, 4)),
+                )
+                agg.add_worker(v)
+                live.append(next_id)
+                next_id += 1
+            elif op < 0.55:
+                agg.mark_ready(
+                    rng.choice(live), now=float(next_id),
+                    all_slots=rng.random() < 0.3,
+                )
+            elif op < 0.75:
+                job = serial_job()
+                if agg.can_place(job):
+                    agg.place(job)
+            elif op < 0.9:
+                job = mpi_job(rng.choice((1, 2)))
+                if agg.can_place(job):
+                    agg.place(job)
+            else:
+                wid = rng.choice(live)
+                live.remove(wid)
+                agg.remove_worker(wid)
+            self._check(agg)

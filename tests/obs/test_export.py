@@ -11,6 +11,7 @@ from repro.core.tasklist import TaskList
 from repro.cluster.machine import generic_cluster
 from repro.obs.export import (
     chrome_events,
+    jsonl_perf,
     jsonl_runs,
     read_jsonl,
     sanitize,
@@ -131,3 +132,41 @@ class TestChromeTrace:
         assert "queued" in slice_names
         assert "app_running" in slice_names
         assert "busy" in slice_names  # worker timeline
+
+
+class TestPerfTrailer:
+    """The {"meta": "perf"} trailer line and its readers."""
+
+    def _dump(self, traced_run, perf):
+        buf = io.StringIO()
+        to_jsonl(traced_run, buf, run=0, perf=perf)
+        buf.seek(0)
+        return buf
+
+    def test_trailer_is_last_line_and_tagged(self, traced_run):
+        buf = self._dump(traced_run, {"events": 42, "sim_s": 1.5})
+        last = json.loads(buf.getvalue().splitlines()[-1])
+        assert last == {"meta": "perf", "run": 0, "events": 42, "sim_s": 1.5}
+
+    def test_record_readers_skip_the_trailer(self, traced_run):
+        perf = {"events": 42, "records": len(traced_run.records)}
+        buf = self._dump(traced_run, perf)
+        records = read_jsonl(buf)
+        assert len(records) == len(traced_run.records)
+        buf.seek(0)
+        runs = jsonl_runs(buf)
+        assert len(runs[0]) == len(traced_run.records)
+
+    def test_jsonl_perf_collects_per_run(self, traced_run):
+        buf = io.StringIO()
+        to_jsonl(traced_run, buf, run=0, perf={"events": 1})
+        to_jsonl(traced_run, buf, run=1, perf={"events": 2})
+        to_jsonl(traced_run, buf, run=2)  # no trailer for this run
+        buf.seek(0)
+        assert jsonl_perf(buf) == {0: {"events": 1}, 1: {"events": 2}}
+
+    def test_dumps_without_trailer_yield_empty_perf(self, traced_run):
+        buf = io.StringIO()
+        to_jsonl(traced_run, buf)
+        buf.seek(0)
+        assert jsonl_perf(buf) == {}

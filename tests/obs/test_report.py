@@ -181,3 +181,52 @@ class TestFaultBreakdowns:
         )
         assert resubmit_cause({"error": "mystery"}) == "other"
         assert resubmit_cause(None) == "other"
+
+
+class TestPerformanceSection:
+    def test_live_trace_fills_perf_fields(self):
+        report = run_sim()
+        rr = RunReport.from_trace(report.platform.trace)
+        assert rr.events_processed == report.platform.env.events_processed
+        assert rr.events_processed > 0
+        assert rr.trace_records == len(report.platform.trace.records)
+        assert rr.sim_seconds == pytest.approx(report.platform.env.now)
+        assert rr.wall_seconds is None  # only live sessions measure wall
+        text = rr.render()
+        assert "performance:" in text
+        assert "kernel events" in text
+
+    def test_wall_line_renders_rates(self):
+        report = run_sim()
+        text = render_report(
+            report.platform.trace,
+            perf={
+                "events": 1000, "records": 10, "sim_s": 2.0, "wall_s": 0.5,
+            },
+        )
+        assert "wall 0.500 s" in text
+        assert "sim/wall 4.0x" in text
+        assert "events/s" in text
+
+    def test_reloaded_dump_keeps_perf_via_trailer(self, taskfile, tmp_path,
+                                                  capsys):
+        out = tmp_path / "run.jsonl"
+        assert main([
+            "--machine", "generic", "--nodes", "4",
+            "--trace-out", str(out), str(taskfile),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "performance:" in text
+        assert "kernel events" in text
+        # The trailer is deterministic: no wall-clock in a reloaded report.
+        assert "sim/wall" not in text
+
+    def test_session_report_includes_wall(self, capsys):
+        with session(report=True):
+            run_sim()
+        text = capsys.readouterr().out
+        assert "performance:" in text
+        assert "wall" in text
+        assert "sim/wall" in text

@@ -383,3 +383,83 @@ class TestRun:
 
 def iter_timeout(env):
     yield env.timeout(10)
+
+
+class TestRelay:
+    """Late callbacks on already-processed events (the relay path)."""
+
+    def test_late_callback_delivers_origin(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        env.run()
+        assert ev.processed
+        seen = []
+        ev._add_callback(seen.append)
+        env.run()
+        # The listener receives the origin (with its value), not the
+        # internal relay event.
+        assert seen == [ev]
+        assert seen[0].value == 42
+
+    def test_late_callback_fires_at_current_time(self, env):
+        ev = env.event()
+        ev.succeed()
+        env.run()
+        fired_at = []
+        ev._add_callback(lambda e: fired_at.append(env.now))
+        env.process(iter_timeout(env))  # something later on the heap
+        env.run()
+        assert fired_at == [0]
+
+    def test_late_listener_on_defused_failure_does_not_reraise(self, env):
+        """Regression: the relay must copy the origin's ``_defused``.
+
+        A failed event whose exception was already caught is settled; a
+        late passive listener must not make the scheduler re-raise it.
+        """
+        ev = env.event()
+        caught = []
+
+        def first():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        env.process(first())
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert len(caught) == 1
+        seen = []
+        ev._add_callback(seen.append)
+        env.run()  # must not raise RuntimeError("boom") again
+        assert seen == [ev]
+
+    def test_listener_defusing_during_relay_suppresses_reraise(self, env):
+        """A late process that catches the failure defuses the relay too."""
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            env.run()
+        assert ev.processed and not ev._defused
+        caught = []
+
+        def late():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        env.process(late())
+        env.run()  # the catch above must settle the relay as well
+        assert len(caught) == 1
+
+    def test_late_listener_ignoring_failure_still_raises(self, env):
+        """An un-handled relayed failure keeps crashing the run."""
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            env.run()
+        ev._add_callback(lambda e: None)  # looks, does not catch
+        with pytest.raises(RuntimeError):
+            env.run()

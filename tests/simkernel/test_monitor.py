@@ -190,3 +190,124 @@ class TestGaugeCoalescing:
         env.process(proc())
         env.run()
         assert g.integral() == pytest.approx(10.0)
+
+
+class TestTraceIndex:
+    """The per-category index must agree with a linear scan."""
+
+    def _fill(self, env):
+        trace = Trace(env)
+
+        def proc():
+            for i in range(30):
+                trace.log(f"job.s{i % 3}", {"i": i})
+                trace.log("worker.tick", i)
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        return trace
+
+    def test_select_matches_linear_scan(self, env):
+        trace = self._fill(env)
+        for cat in ("job.s0", "job.s1", "worker.tick", "nope"):
+            expected = [r for r in trace.records if r.category == cat]
+            assert trace.select(cat) == expected
+
+    def test_prefix_select_matches_linear_scan_in_time_order(self, env):
+        trace = self._fill(env)
+        expected = [
+            r for r in trace.records if r.category.startswith("job.")
+        ]
+        assert trace.select("job.", prefix=True) == expected
+        assert trace.times("job.", prefix=True) == [r.time for r in expected]
+
+    def test_select_any_merges_in_record_order(self, env):
+        trace = self._fill(env)
+        picked = ("worker.tick", "job.s2")
+        expected = [r for r in trace.records if r.category in picked]
+        assert trace.select_any(picked) == expected
+
+    def test_categories_in_first_appearance_order(self, env):
+        trace = self._fill(env)
+        assert trace.categories() == [
+            "job.s0", "worker.tick", "job.s1", "job.s2"
+        ]
+        assert trace.categories("job.") == ["job.s0", "job.s1", "job.s2"]
+
+    def test_index_stays_live_after_new_logs(self, env):
+        trace = Trace(env)
+        trace.log("a", 1)
+        assert len(trace.select("a")) == 1  # query builds/uses the index...
+        trace.log("a", 2)  # ...and later logs still land in it
+        assert [r.data for r in trace.select("a")] == [1, 2]
+
+    def test_categories_are_interned(self, env):
+        trace = Trace(env)
+        trace.log("job." + "dispatch", None)  # dynamically-built string
+        trace.log("job." + "dispatch", None)
+        a, b = (r.category for r in trace.records)
+        assert a is b
+
+
+class TestGaugeWindowedIntegral:
+    """The bisect-windowed integral must equal the full-scan answer."""
+
+    def _reference(self, samples, t0, t1):
+        # Mirrors the historical full-scan formulation: the last sample
+        # extends to the window end (the gauge holds its value).
+        total = 0.0
+        for (ta, va), (tb, _vb) in zip(samples, samples[1:]):
+            lo, hi = max(ta, t0), min(tb, t1)
+            if hi > lo:
+                total += va * (hi - lo)
+        ta, va = samples[-1]
+        lo = max(ta, t0)
+        if t1 > lo:
+            total += va * (t1 - lo)
+        return total
+
+    def _fill(self, env, n=40):
+        g = Gauge(env, 0)
+
+        def proc():
+            for i in range(n):
+                g.set((i * 7) % 11)
+                yield env.timeout(1.5)
+
+        env.process(proc())
+        env.run()
+        return g
+
+    def test_windows_match_full_scan(self, env):
+        g = self._fill(env)
+        samples = g.series()
+        now = env.now
+        windows = [
+            (0.0, now), (3.0, 9.0), (2.25, 2.26), (0.0, 0.0),
+            (10.0, 55.0), (-5.0, 3.0), (now - 1.0, now + 10.0),
+        ]
+        for t0, t1 in windows:
+            assert g.integral(t0, t1) == pytest.approx(
+                self._reference(samples, t0, t1)
+            ), (t0, t1)
+
+    def test_window_before_first_sample_is_zero(self, env):
+        g = Gauge(env, 0)
+
+        def proc():
+            yield env.timeout(5)
+            g.set(3)
+            yield env.timeout(5)
+
+        env.process(proc())
+        env.run()
+        # Gauge records its initial value at construction time (t=0),
+        # so the early window integrates the initial 0.
+        assert g.integral(0.0, 4.0) == pytest.approx(0.0)
+        assert g.integral(6.0, 8.0) == pytest.approx(6.0)
+
+    def test_degenerate_and_inverted_windows(self, env):
+        g = self._fill(env, n=5)
+        assert g.integral(3.0, 3.0) == 0.0
+        assert g.integral(9.0, 2.0) == 0.0
