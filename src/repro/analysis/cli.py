@@ -21,7 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from .framework import SEVERITIES, all_rules, lint_paths
-from .tracecheck import validate_records
+from .tracecheck import TraceValidator
 
 __all__ = [
     "build_lint_parser",
@@ -124,12 +124,25 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def lint_trace_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``jets lint-trace`` entry point; returns the exit code."""
-    args = build_lint_trace_parser().parse_args(argv)
-    from ..obs.export import jsonl_runs
+    """``jets lint-trace`` entry point; returns the exit code.
 
+    Records stream through one incremental :class:`.TraceValidator` per
+    tagged run — a spilled million-record dump validates in flat memory,
+    never materialized as a list.
+    """
+    args = build_lint_trace_parser().parse_args(argv)
+    from ..obs.export import iter_jsonl
+
+    validators: dict[int, TraceValidator] = {}
     try:
-        runs = jsonl_runs(args.tracefile)
+        for run_id, rec in iter_jsonl(args.tracefile, run=args.run):
+            validator = validators.get(run_id)
+            if validator is None:
+                validator = validators[run_id] = TraceValidator(
+                    check_schema=not args.no_schema,
+                    check_lifecycle=not args.no_lifecycle,
+                )
+            validator.feed(rec)
     except OSError as exc:
         print(f"jets lint-trace: cannot read {args.tracefile}: {exc}",
               file=sys.stderr)
@@ -137,33 +150,29 @@ def lint_trace_main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"jets lint-trace: bad trace file: {exc}", file=sys.stderr)
         return 2
-    if not runs:
-        print(f"jets lint-trace: {args.tracefile} holds no trace records",
-              file=sys.stderr)
-        return 2
-    if args.run is not None:
-        if args.run not in runs:
+    if not validators:
+        if args.run is not None:
             print(f"jets lint-trace: no run {args.run} in {args.tracefile}",
                   file=sys.stderr)
-            return 2
-        runs = {args.run: runs[args.run]}
+        else:
+            print(
+                f"jets lint-trace: {args.tracefile} holds no trace records",
+                file=sys.stderr,
+            )
+        return 2
 
     total = 0
-    for run_id in sorted(runs):
-        records = runs[run_id]
-        issues = validate_records(
-            records,
-            check_schema=not args.no_schema,
-            check_lifecycle=not args.no_lifecycle,
-        )
+    for run_id in sorted(validators):
+        validator = validators[run_id]
+        issues = validator.issues
         total += len(issues)
-        tag = f"run {run_id}: " if len(runs) > 1 or run_id else ""
+        tag = f"run {run_id}: " if len(validators) > 1 or run_id else ""
         for issue in issues[: args.max_issues]:
             print(f"{tag}{issue.render()}")
         if len(issues) > args.max_issues:
             print(f"{tag}... {len(issues) - args.max_issues} more issues")
         print(
-            f"jets lint-trace: {tag}{len(records)} records — "
+            f"jets lint-trace: {tag}{validator.records_seen} records — "
             + (f"{len(issues)} issues" if issues else "valid")
         )
     return 1 if total else 0

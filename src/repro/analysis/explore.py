@@ -31,8 +31,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..simkernel import Environment, SeededOrder
-from .protocol import WireMessage, channel_for_service, validate_sessions
-from .tracecheck import validate_trace
+from .protocol import SessionValidator, WireMessage, wire_message
+from .tracecheck import TraceValidator
 
 __all__ = [
     "ExploreConfig",
@@ -105,24 +105,9 @@ def wire_messages(events) -> list[WireMessage]:
     protocol :class:`WireMessage` instances (unknown services dropped)."""
     out: list[WireMessage] = []
     for ev in events:
-        channel = channel_for_service(ev.service)
-        if channel is None:
-            continue
-        payload = (
-            ev.payload if isinstance(ev.payload, tuple) else (ev.payload,)
-        )
-        out.append(
-            WireMessage(
-                conn=ev.conn_id,
-                channel=channel,
-                kind=payload[0] if payload else "",
-                payload=payload,
-                nbytes=ev.nbytes,
-                sender=ev.sender,
-                service=ev.service,
-                time=ev.time,
-            )
-        )
+        msg = wire_message(ev)
+        if msg is not None:
+            out.append(msg)
     return out
 
 
@@ -154,8 +139,14 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
         env=env,
         seed=seed,
     )
-    tapped: list = []
-    platform.network.add_tap(tapped.append)
+    # Oracles 2 and 3 validate *as the run streams*: the trace validator
+    # subscribes to the platform trace and the session validator is the
+    # network tap itself, so neither needs the full record/message list
+    # retained (the trace sink may window-and-spill underneath them).
+    trace_validator = TraceValidator()
+    platform.trace.subscribe(trace_validator.feed)
+    sessions = SessionValidator()
+    platform.network.add_tap(sessions.tap)
 
     dispatcher = JetsDispatcher(
         platform,
@@ -241,16 +232,16 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
         killed_worker=killed_worker,
         kill_time=kill_time,
         drained=drained,
-        wire_count=len(tapped),
+        wire_count=sessions.seen,
     )
     if not drained:
         result.problems.append(
             f"run did not drain within {config.until} sim-seconds "
             f"({dispatcher.jobs_finished}/{dispatcher.jobs_submitted} jobs)"
         )
-    for issue in validate_trace(platform.trace):
+    for issue in trace_validator.issues:
         result.problems.append(f"lint-trace: {issue.render()}")
-    for problem in validate_sessions(wire_messages(tapped)):
+    for problem in sessions.finish():
         result.problems.append(f"protocol: {problem}")
     return result
 

@@ -48,6 +48,8 @@ __all__ = [
     "known_kind",
     "wire_size",
     "channel_for_service",
+    "wire_message",
+    "SessionValidator",
     "validate_sessions",
     # message-kind constants (use these at call sites, never raw strings)
     "REGISTER",
@@ -386,6 +388,162 @@ class WireMessage:
     time: float = 0.0
 
 
+def wire_message(ev) -> Optional[WireMessage]:
+    """Adapt one tapped :class:`~repro.netsim.sockets.WireEvent` to a
+    :class:`WireMessage` (None for services outside the registry)."""
+    channel = channel_for_service(ev.service)
+    if channel is None:
+        return None
+    payload = ev.payload if isinstance(ev.payload, tuple) else (ev.payload,)
+    return WireMessage(
+        conn=ev.conn_id,
+        channel=channel,
+        kind=payload[0] if payload else "",
+        payload=payload,
+        nbytes=ev.nbytes,
+        sender=ev.sender,
+        service=ev.service,
+        time=ev.time,
+    )
+
+
+class SessionValidator:
+    """Incremental protocol conformance: feed each send as it happens.
+
+    The streaming form of :func:`validate_sessions`: register
+    :meth:`tap` directly as a ``Network.add_tap`` observer (it adapts
+    and counts every wire event, feeding registry-known channels) or
+    call :meth:`feed` per :class:`WireMessage`.  Per-message checks
+    (declared kind, arity, ready-credit accounting) are appended as the
+    stream flows; per-connection session-machine replay advances one
+    transition at a time, so state is bounded by live connections rather
+    than total traffic.  :meth:`finish` merges everything in the same
+    order the post-hoc scan reports.
+    """
+
+    def __init__(self):
+        #: Per-message problems, in send order.
+        self.problems: list[str] = []
+        #: All tapped wire events (any service), for traffic accounting.
+        self.seen = 0
+        self._index = 0
+        self._conn_order: list[object] = []
+        self._conn_label: dict[object, str] = {}
+        self._states: dict[object, Optional[str]] = {}
+        self._machines: dict[object, StateMachine] = {}
+        self._session_problems: dict[object, list[str]] = {}
+        self._credits: dict[object, Optional[int]] = {}
+        self._slots: dict[object, int] = {}
+        self._hydra_last_register: dict[str, int] = {}
+        self._hydra_first_commit: dict[str, int] = {}
+
+    def tap(self, ev) -> None:
+        """``Network.add_tap`` entry point: adapt, count, and feed."""
+        self.seen += 1
+        msg = wire_message(ev)
+        if msg is not None:
+            self.feed(msg)
+
+    def feed(self, msg: WireMessage) -> None:
+        """Validate one observed send (in global send order)."""
+        index = self._index
+        self._index = index + 1
+        problems = self.problems
+        label = f"{msg.service or msg.channel}#{msg.conn}"
+        spec = lookup_message(msg.channel, msg.kind)
+        if spec is None:
+            problems.append(
+                f"msg {index} [{label}]: kind {msg.kind!r} is not declared "
+                f"on channel {msg.channel!r}"
+            )
+            return
+        if spec.internal:
+            problems.append(
+                f"msg {index} [{label}]: internal mark {msg.kind!r} "
+                "observed on the wire"
+            )
+            return
+        if len(msg.payload) != spec.arity:
+            problems.append(
+                f"msg {index} [{label}]: {msg.kind!r} payload has "
+                f"{len(msg.payload)} elements, registry declares "
+                f"{spec.arity} ({('kind', *spec.fields)!r})"
+            )
+        conn = msg.conn
+        if conn not in self._conn_label:
+            self._conn_order.append(conn)
+            self._conn_label[conn] = label
+
+        # Session-machine replay, one transition at a time (the exact
+        # fold StateMachine.validate performs over a full sequence).
+        machine = SESSION_MACHINES[msg.channel]
+        self._machines[conn] = machine
+        if (
+            msg.kind not in machine.ignored_events
+            and msg.kind in machine.events
+        ):
+            state = machine.events[msg.kind]
+            current = self._states.get(conn)
+            if not machine.can(current, state):
+                origin = current if current is not None else "<entry>"
+                self._session_problems.setdefault(conn, []).append(
+                    f"session [{self._conn_label[conn]}]: illegal "
+                    f"{machine.entity} transition {origin} -> {state}"
+                )
+            self._states[conn] = state
+
+        if msg.channel == CHANNEL_JETS:
+            credits = self._credits
+            have = credits.get(conn)
+            if msg.kind == REGISTER and len(msg.payload) == spec.arity:
+                self._slots[conn] = int(msg.payload[3])
+                credits[conn] = 0
+            elif msg.kind == READY and have is not None:
+                credits[conn] = min(self._slots[conn], have + 1)
+            elif msg.kind == READY_ALL and have is not None:
+                credits[conn] = self._slots[conn]
+            elif msg.kind == RUN_TASK and have is not None:
+                if have < 1:
+                    problems.append(
+                        f"msg {index} [{label}]: run_task dispatched with "
+                        "no ready credit outstanding"
+                    )
+                else:
+                    credits[conn] = have - 1
+            elif msg.kind == RUN_PROXY and have is not None:
+                if have < self._slots[conn]:
+                    problems.append(
+                        f"msg {index} [{label}]: run_proxy dispatched to a "
+                        f"worker with {have}/{self._slots[conn]} slots free "
+                        "(MPI jobs claim whole workers)"
+                    )
+                credits[conn] = 0
+        elif msg.channel == CHANNEL_HYDRA:
+            if msg.kind == REGISTER:
+                self._hydra_last_register[msg.service] = index
+            elif msg.kind == COMMIT:
+                self._hydra_first_commit.setdefault(msg.service, index)
+
+    def finish(self) -> list[str]:
+        """All violations so far, in the post-hoc scan's report order.
+
+        Non-destructive: feeding more messages and calling finish again
+        yields the updated verdicts.
+        """
+        problems = list(self.problems)
+        for conn in self._conn_order:
+            problems.extend(self._session_problems.get(conn, ()))
+        for service, commit_index in sorted(self._hydra_first_commit.items()):
+            last_register = self._hydra_last_register.get(service, -1)
+            if last_register > commit_index:
+                problems.append(
+                    f"service [{service}]: commit at msg {commit_index} "
+                    f"precedes a proxy register at msg {last_register} "
+                    "(commit requires every proxy registered)"
+                )
+        return problems
+
+
 def validate_sessions(messages: Iterable["WireMessage"]) -> list[str]:
     """Replay recorded wire traffic against the protocol registry.
 
@@ -397,86 +555,8 @@ def validate_sessions(messages: Iterable["WireMessage"]) -> list[str]:
     proxy that ever registers has registered.  Returns human-readable
     violations (empty = conformant).
     """
-    problems: list[str] = []
-    sequences: dict[object, list[str]] = {}
-    conn_channel: dict[object, str] = {}
-    conn_label: dict[object, str] = {}
-    credits: dict[object, Optional[int]] = {}
-    slots: dict[object, int] = {}
-    hydra_last_register: dict[str, int] = {}
-    hydra_first_commit: dict[str, int] = {}
-
-    for index, msg in enumerate(messages):
-        label = f"{msg.service or msg.channel}#{msg.conn}"
-        spec = lookup_message(msg.channel, msg.kind)
-        if spec is None:
-            problems.append(
-                f"msg {index} [{label}]: kind {msg.kind!r} is not declared "
-                f"on channel {msg.channel!r}"
-            )
-            continue
-        if spec.internal:
-            problems.append(
-                f"msg {index} [{label}]: internal mark {msg.kind!r} "
-                "observed on the wire"
-            )
-            continue
-        if len(msg.payload) != spec.arity:
-            problems.append(
-                f"msg {index} [{label}]: {msg.kind!r} payload has "
-                f"{len(msg.payload)} elements, registry declares "
-                f"{spec.arity} ({('kind', *spec.fields)!r})"
-            )
-        sequences.setdefault(msg.conn, []).append(msg.kind)
-        conn_channel[msg.conn] = msg.channel
-        conn_label.setdefault(msg.conn, label)
-
-        if msg.channel == CHANNEL_JETS:
-            have = credits.get(msg.conn)
-            if msg.kind == REGISTER and len(msg.payload) == spec.arity:
-                slots[msg.conn] = int(msg.payload[3])
-                credits[msg.conn] = 0
-            elif msg.kind == READY and have is not None:
-                credits[msg.conn] = min(slots[msg.conn], have + 1)
-            elif msg.kind == READY_ALL and have is not None:
-                credits[msg.conn] = slots[msg.conn]
-            elif msg.kind == RUN_TASK and have is not None:
-                if have < 1:
-                    problems.append(
-                        f"msg {index} [{label}]: run_task dispatched with "
-                        "no ready credit outstanding"
-                    )
-                else:
-                    credits[msg.conn] = have - 1
-            elif msg.kind == RUN_PROXY and have is not None:
-                if have < slots[msg.conn]:
-                    problems.append(
-                        f"msg {index} [{label}]: run_proxy dispatched to a "
-                        f"worker with {have}/{slots[msg.conn]} slots free "
-                        "(MPI jobs claim whole workers)"
-                    )
-                credits[msg.conn] = 0
-        elif msg.channel == CHANNEL_HYDRA:
-            if msg.kind == REGISTER:
-                hydra_last_register[msg.service] = index
-            elif msg.kind == COMMIT:
-                hydra_first_commit.setdefault(msg.service, index)
-
-    for conn, kinds in sequences.items():
-        machine = SESSION_MACHINES[conn_channel[conn]]
-        states = [
-            machine.events[k] for k in kinds
-            if k not in machine.ignored_events and k in machine.events
-        ]
-        for _i, message in machine.validate(states):
-            problems.append(f"session [{conn_label[conn]}]: {message}")
-
-    for service, commit_index in sorted(hydra_first_commit.items()):
-        last_register = hydra_last_register.get(service, -1)
-        if last_register > commit_index:
-            problems.append(
-                f"service [{service}]: commit at msg {commit_index} "
-                f"precedes a proxy register at msg {last_register} "
-                "(commit requires every proxy registered)"
-            )
-    return problems
+    validator = SessionValidator()
+    feed = validator.feed
+    for msg in messages:
+        feed(msg)
+    return validator.finish()

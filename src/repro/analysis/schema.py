@@ -59,6 +59,7 @@ __all__ = [
     "WORKER_BUSY",
     "JOB_DONE",
     "JOB_FAILED",
+    "OBS_PROGRESS",
     "COUNTER_PREFIX",
 ]
 
@@ -133,6 +134,7 @@ WORKER_IDLE = "worker.idle"
 WORKER_BUSY = "worker.busy"
 JOB_DONE = "job.done"
 JOB_FAILED = "job.failed"
+OBS_PROGRESS = "obs.progress"
 
 #: Dynamic family for instrument mirroring (``counter.<name>``); the one
 #: sanctioned dynamic-category funnel, validated at Counter.connect time.
@@ -336,6 +338,17 @@ _STATIC_SPECS = [
         COASTERS_BLOCK_READY,
         required=("size",),
         description="Coasters block came up",
+    ),
+    _spec(
+        OBS_PROGRESS,
+        required=("events", "records"),
+        optional=("jobs", "counts", "gauges"),
+        description=(
+            "live-progress heartbeat folded from the trace stream "
+            "(kernel events, record/family counts, job tallies, gauge "
+            "levels) — all seed-deterministic, emitted every N sim-"
+            "seconds when progress tracking is enabled"
+        ),
     ),
 ]
 

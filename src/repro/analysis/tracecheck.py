@@ -25,7 +25,12 @@ from ..simkernel import Trace, TraceRecord
 from .lifecycle import MACHINES, StateMachine
 from .schema import lookup
 
-__all__ = ["TraceIssue", "validate_records", "validate_trace"]
+__all__ = [
+    "TraceIssue",
+    "TraceValidator",
+    "validate_records",
+    "validate_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -95,31 +100,50 @@ def _entity_id(machine: StateMachine, data) -> object:
     return ident
 
 
-def validate_records(
-    records: Iterable[TraceRecord],
-    check_schema: bool = True,
-    check_lifecycle: bool = True,
-) -> list[TraceIssue]:
-    """All validation issues for one run's records, in record order."""
-    issues: list[TraceIssue] = []
-    replays = {prefix: _Replay(m) for prefix, m in MACHINES.items()}
-    last_time: Optional[float] = None
+class TraceValidator:
+    """Incremental trace validation: feed records as they stream.
 
-    for index, rec in enumerate(records):
+    The subscriber form of :func:`validate_records`: attach :meth:`feed`
+    to a live :class:`~repro.simkernel.TraceSink` (in-RAM or streaming)
+    or call it per record while replaying a JSONL dump.  Validation
+    state is the per-entity lifecycle replay plus the previous timestamp
+    — bounded by entity count, never by record count — so a windowed
+    streaming sink gets the exact verdicts a post-hoc full scan would
+    produce.
+    """
+
+    def __init__(self, check_schema: bool = True, check_lifecycle: bool = True):
+        self.check_schema = check_schema
+        self.check_lifecycle = check_lifecycle
+        self.issues: list[TraceIssue] = []
+        self._replays = {prefix: _Replay(m) for prefix, m in MACHINES.items()}
+        self._last_time: Optional[float] = None
+        self._index = 0
+
+    @property
+    def records_seen(self) -> int:
+        """How many records have been fed so far."""
+        return self._index
+
+    def feed(self, rec: TraceRecord) -> None:
+        """Validate one record (subscriber entry point)."""
+        index = self._index
+        self._index = index + 1
         cat, data = rec.category, rec.data
+        issues = self.issues
 
         def issue(code: str, message: str) -> None:
             issues.append(TraceIssue(index, rec.time, cat, code, message))
 
-        if last_time is not None and rec.time < last_time:
+        if self._last_time is not None and rec.time < self._last_time:
             issue(
                 "TV003",
                 f"timestamp {rec.time} precedes previous record "
-                f"({last_time}); trace is not in event order",
+                f"({self._last_time}); trace is not in event order",
             )
-        last_time = rec.time
+        self._last_time = rec.time
 
-        if check_schema:
+        if self.check_schema:
             spec = lookup(cat)
             if spec is None:
                 issue("TV001", f"unknown trace category {cat!r}")
@@ -127,27 +151,41 @@ def validate_records(
                 for problem in spec.payload_problems(data):
                     issue("TV002", problem)
 
-        if check_lifecycle and "." in cat:
+        if self.check_lifecycle and "." in cat:
             prefix, event = cat.split(".", 1)
-            replay = replays.get(prefix)
+            replay = self._replays.get(prefix)
             if replay is None:
-                continue
+                return
             machine = replay.machine
             if event in machine.ignored_events:
-                continue
+                return
             if machine.state_for_event(event) is None:
-                continue  # unknown event — TV001 covers it
+                return  # unknown event — TV001 covers it
             entity = _entity_id(machine, data)
             if entity is None:
                 issue(
                     "TV005",
                     f"lifecycle record lacks its {machine.id_key!r} id key",
                 )
-                continue
+                return
             problem = replay.apply(entity, event)
             if problem is not None:
                 issue("TV004", problem)
-    return issues
+
+
+def validate_records(
+    records: Iterable[TraceRecord],
+    check_schema: bool = True,
+    check_lifecycle: bool = True,
+) -> list[TraceIssue]:
+    """All validation issues for one run's records, in record order."""
+    validator = TraceValidator(
+        check_schema=check_schema, check_lifecycle=check_lifecycle
+    )
+    feed = validator.feed
+    for rec in records:
+        feed(rec)
+    return validator.issues
 
 
 def validate_trace(

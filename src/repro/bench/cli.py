@@ -82,6 +82,22 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="timed-pass repetitions per workload; the minimum wall "
         "time is reported (default: 1)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named workload(s) of the selected suite "
+        "(repeatable); keeps process-wide peak RSS attributable",
+    )
+    parser.add_argument(
+        "--rss-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="fail (exit 1) if any workload's peak RSS exceeds this "
+        "budget — the streaming-sink memory gate",
+    )
     return parser
 
 
@@ -120,13 +136,18 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     exit_code = 0
     for suite in suites:
         print(f"suite {suite}{' (quick)' if args.quick else ''}:")
-        run = run_suite(
-            suite,
-            quick=args.quick,
-            memory=not args.no_mem,
-            progress=_print_result,
-            repeats=max(1, args.repeat),
-        )
+        try:
+            run = run_suite(
+                suite,
+                quick=args.quick,
+                memory=not args.no_mem,
+                progress=_print_result,
+                repeats=max(1, args.repeat),
+                only=args.only,
+            )
+        except KeyError as exc:
+            print(f"jets bench: {exc.args[0]}", file=sys.stderr)
+            return 2
         suite_baseline = (
             baseline if baseline is not None and baseline.get("suite") == suite
             else None
@@ -152,6 +173,17 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  REGRESSION: {regression}", file=sys.stderr)
             if not cmp.ok:
                 exit_code = 1
+        if args.rss_budget_mb is not None:
+            budget_kb = args.rss_budget_mb * 1024
+            for result in run.results:
+                if result.peak_rss_kb > budget_kb:
+                    print(
+                        f"  RSS BUDGET EXCEEDED: {result.name} peaked at "
+                        f"{result.peak_rss_kb / 1024:.0f} MB "
+                        f"(budget {args.rss_budget_mb:.0f} MB)",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
     return exit_code
 
 

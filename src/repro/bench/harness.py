@@ -185,11 +185,26 @@ def run_suite(
     memory: bool = True,
     progress=None,
     repeats: int = 1,
+    only: Optional[list[str]] = None,
 ) -> SuiteRun:
-    """Run every workload of a named suite, in declaration order."""
+    """Run every workload of a named suite, in declaration order.
+
+    ``only`` restricts to the named workloads — the memory-budget CI
+    job uses it so peak RSS (a process-wide high-water mark) reflects a
+    single workload rather than everything that ran before it.
+    """
     workloads = SUITES.get(suite)
     if workloads is None:
         raise KeyError(f"unknown bench suite {suite!r}")
+    if only:
+        names = {wl.name for wl in workloads}
+        unknown = [n for n in only if n not in names]
+        if unknown:
+            raise KeyError(
+                f"unknown workload(s) in suite {suite!r}: "
+                + ", ".join(sorted(unknown))
+            )
+        workloads = [wl for wl in workloads if wl.name in set(only)]
     run = SuiteRun(suite=suite, quick=quick, repeats=repeats)
     for wl in workloads:
         result = run_workload(wl, quick=quick, memory=memory, repeats=repeats)

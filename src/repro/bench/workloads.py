@@ -229,7 +229,9 @@ def _collect(runs) -> dict:
     """Sum kernel/trace volume across an obs session's captured runs."""
     events = sum(t.env.events_processed for _label, t, _reg in runs)
     sim_s = sum(t.env.now for _label, t, _reg in runs)
-    records = sum(len(t.records) for _label, t, _reg in runs)
+    # len(sink) is the all-time record count for both the in-RAM Trace
+    # and the windowed StreamingTrace (which retains only a suffix).
+    records = sum(len(t) for _label, t, _reg in runs)
     return {"events": events, "sim_s": round(sim_s, 6), "records": records}
 
 
@@ -314,6 +316,86 @@ def _explore_slice(quick: bool) -> dict:
     return out
 
 
+#: jobs_1m stream sizes (module-level so tests can shrink the quick run).
+_JOBS_1M_QUICK = 8_000
+_JOBS_1M_FULL = 40_000
+
+
+def _jobs_1m(quick: bool) -> dict:
+    """Million-kernel-event job stream under the streaming trace sink.
+
+    The memory-budget gate for the streaming observability pipeline: a
+    long serial-job stream is wave-fed to the dispatcher (each wave
+    submitted once the previous drained, the steady-state many-task
+    pattern) while the platform trace is a windowed
+    :class:`~repro.simkernel.StreamingTrace`.  Trace memory stays flat
+    no matter how many records flow; an in-RAM run of the same stream
+    grows linearly with record count.  Set ``JETS_BENCH_SPILL`` to a
+    path to spill the full record stream there (the CI artifact);
+    without it evicted records are dropped after subscribers fold them.
+    """
+    import os
+
+    from ..apps.synthetic import SleepProgram
+    from ..cluster.machine import generic_cluster
+    from ..cluster.platform import Platform
+    from ..core.dispatcher import JetsDispatcher, JetsServiceConfig
+    from ..core.tasklist import JobSpec
+    from ..core.worker import WorkerAgent
+    from ..obs import session
+
+    jobs_n = _JOBS_1M_QUICK if quick else _JOBS_1M_FULL
+    batch = 2_000
+    window = 8_192
+    spill = os.environ.get("JETS_BENCH_SPILL") or None
+    # chrome_out="" suppresses the derived Chrome path a spill target
+    # would otherwise trigger: this workload measures the pure pipeline.
+    with session(stream=True, window=window, trace_out=spill,
+                 chrome_out="") as s:
+        platform = Platform(generic_cluster(nodes=8, cores_per_node=4))
+        dispatcher = JetsDispatcher(
+            platform, JetsServiceConfig(), expected_workers=8
+        )
+        dispatcher.start()
+        agents = [
+            WorkerAgent(platform, node, dispatcher.endpoint)
+            for node in platform.nodes
+        ]
+        for agent in agents:
+            agent.start()
+        env = platform.env
+        done = env.event()
+
+        def feeder(env):
+            sent = 0
+            while sent < jobs_n:
+                n = min(batch, jobs_n - sent)
+                dispatcher.submit_many(
+                    [
+                        JobSpec(program=SleepProgram(0.2), nodes=1, mpi=False)
+                        for _ in range(n)
+                    ]
+                )
+                sent += n
+                while dispatcher.jobs_finished < sent:
+                    yield env.timeout(0.5)
+            done.succeed()
+
+        env.process(feeder(env), name="bench-feeder")
+        env.run(done)
+        sink = platform.trace
+        retained = sink.retained
+    out = _collect(s.runs)
+    out.update(
+        jobs=jobs_n,
+        batch=batch,
+        window=window,
+        retained=retained,
+        finished=dispatcher.jobs_finished,
+    )
+    return out
+
+
 SUITES: dict[str, list[Workload]] = {
     "kernel": [
         Workload("event_churn", _event_churn, "event alloc/trigger/resume"),
@@ -328,5 +410,8 @@ SUITES: dict[str, list[Workload]] = {
         Workload("fig09_mpi512", _fig09_mpi512, "Fig. 9 512-node MPI point"),
         Workload("chaos_mix", _chaos_mix, "chaos plans with recovery"),
         Workload("explore_slice", _explore_slice, "schedule-explorer slice"),
+        Workload(
+            "jobs_1m", _jobs_1m, "million-event stream, streaming sink"
+        ),
     ],
 }

@@ -42,10 +42,14 @@ class Platform:
         self.spec = spec
         self.env = env if env is not None else Environment()
         self.rng = RngRegistry(seed)
-        self.trace = Trace(self.env)
+        # The ambient session may supply a streaming (windowed/spilling)
+        # sink; absent one — or outside any session — the default stays
+        # the fully-indexed in-RAM Trace.
+        obs = _active_obs_session()
+        sink = obs.make_trace(self.env) if obs is not None else None
+        self.trace = sink if sink is not None else Trace(self.env)
         self.busy_cores = Gauge(self.env, 0)
         self.metrics = Registry(self.env, self.trace)
-        obs = _active_obs_session()
         if obs is not None:
             obs.attach(self.trace, label=spec.name, registry=self.metrics)
 

@@ -37,9 +37,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional, Sequence
 
-from ..analysis.explore import wire_messages
-from ..analysis.protocol import channel_for_service, validate_sessions
-from ..analysis.tracecheck import validate_trace
+from ..analysis.protocol import SessionValidator, channel_for_service
+from ..analysis.tracecheck import TraceValidator
 from ..simkernel import Environment, SeededOrder
 
 __all__ = [
@@ -595,8 +594,14 @@ def run_chaos_plan(
         env=env,
         seed=seed,
     )
-    tapped: list = []
-    platform.network.add_tap(tapped.append)
+    # Trace and protocol oracles run incrementally as the run streams —
+    # the session validator *is* the network tap and the trace validator
+    # subscribes to the platform sink — so chaos campaigns stay bounded
+    # in memory even when the trace windows and spills underneath.
+    trace_validator = TraceValidator()
+    platform.trace.subscribe(trace_validator.feed)
+    sessions = SessionValidator()
+    platform.network.add_tap(sessions.tap)
 
     recovery = RecoveryPolicy(
         backoff_base=0.05,
@@ -683,7 +688,7 @@ def run_chaos_plan(
         injected=dict(engine.injected),
         respawns=keeper.respawns,
         drained=drained,
-        wire_count=len(tapped),
+        wire_count=sessions.seen,
         jobs_ok=jobs_ok,
         jobs_failed=jobs_failed,
         jobs_submitted=dispatcher.jobs_submitted,
@@ -702,9 +707,9 @@ def run_chaos_plan(
             f"accounting: done({jobs_ok}) + failed({jobs_failed}) != "
             f"submitted({dispatcher.jobs_submitted})"
         )
-    for issue in validate_trace(platform.trace):
+    for issue in trace_validator.issues:
         result.problems.append(f"lint-trace: {issue.render()}")
-    for problem in validate_sessions(wire_messages(tapped)):
+    for problem in sessions.finish():
         result.problems.append(f"protocol: {problem}")
     return result
 

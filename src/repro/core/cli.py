@@ -7,8 +7,10 @@ Usage::
          [--grouping fifo|topology] [--no-staging]
          [--faults INTERVAL] [--seed SEED]
          [--trace-out RUN.jsonl] [--chrome-trace RUN.trace.json]
-         [--report] TASKFILE
-    jets report RUN.jsonl
+         [--report] [--stream-trace] [--trace-window N]
+         [--progress-every S] TASKFILE
+    jets report [--follow] RUN.jsonl
+    jets top RUN.jsonl
     jets lint [PATH ...]
     jets lint-trace RUN.jsonl
     jets explore [--schedules N] [--seed S]
@@ -50,8 +52,9 @@ import sys
 from typing import Optional, Sequence
 
 from ..cluster.machine import breadboard, eureka, generic_cluster, surveyor
-from ..obs.export import jsonl_perf, jsonl_runs
+from ..obs.export import iter_jsonl
 from ..obs.report import render_report
+from ..obs.spans import SpanBuilder
 from ..obs.session import session as obs_scope, unwritable_reason
 from .jets import FaultSpec, JetsConfig, Simulation, service_config_for
 from .tasklist import TaskList, TaskListError
@@ -130,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the observability run summary (spans + metrics)",
     )
+    parser.add_argument(
+        "--stream-trace", action="store_true",
+        help="use the bounded-memory streaming trace sink: records are "
+             "spilled to --trace-out as the run executes (flat RSS at "
+             "any event count) instead of being held in RAM",
+    )
+    parser.add_argument(
+        "--trace-window", type=int, default=65536, metavar="N",
+        help="streaming sink retention window in records (default: 65536)",
+    )
+    parser.add_argument(
+        "--progress-every", type=float, default=None, metavar="SECONDS",
+        help="log an obs.progress heartbeat record every SECONDS of "
+             "simulated time (tail it live with 'jets report --follow')",
+    )
     return parser
 
 
@@ -139,29 +157,66 @@ def build_report_parser() -> argparse.ArgumentParser:
         prog="jets report",
         description="Render a run summary from a saved JSONL trace.",
     )
-    parser.add_argument("tracefile", help="JSONL trace from --trace-out")
+    parser.add_argument(
+        "tracefile",
+        help="JSONL trace from --trace-out (or a streaming-sink spill)",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="tail a growing trace, printing a line per progress "
+             "heartbeat; exits once every run's perf trailer has landed",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.25, metavar="SECONDS",
+        help="--follow poll interval (default: 0.25)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="--follow gives up after this long with no new data and "
+             "no perf trailer (default: 30)",
+    )
     return parser
 
 
 def report_main(argv: Optional[Sequence[str]] = None) -> int:
-    """``jets report RUN.jsonl`` — summarize a saved trace."""
+    """``jets report RUN.jsonl`` — summarize a saved trace.
+
+    The dump is folded one record at a time (span builder + perf
+    trailer collection), so reports over spilled million-record traces
+    reconstruct in flat memory.  ``--follow`` instead tails a growing
+    dump live.
+    """
     args = build_report_parser().parse_args(argv)
+    if args.follow:
+        from ..obs.progress import follow
+
+        return follow(
+            args.tracefile, poll=args.poll, idle_timeout=args.idle_timeout
+        )
+    builders: dict[int, SpanBuilder] = {}
+    perf: dict[int, dict] = {}
     try:
-        runs = jsonl_runs(args.tracefile)
-        perf = jsonl_perf(args.tracefile)
+        for run_id, rec in iter_jsonl(
+            args.tracefile,
+            on_perf=lambda run_id, p: perf.__setitem__(run_id, p),
+        ):
+            builder = builders.get(run_id)
+            if builder is None:
+                builder = builders[run_id] = SpanBuilder()
+            builder.fold(rec)
     except OSError as exc:
         print(f"jets: cannot read {args.tracefile}: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"jets: bad trace file: {exc}", file=sys.stderr)
         return 2
-    if not runs:
+    if not builders:
         print(f"jets: {args.tracefile} holds no trace records", file=sys.stderr)
         return 1
-    for run_id in sorted(runs):
+    for run_id in sorted(builders):
         print(
             render_report(
-                runs[run_id],
+                builders[run_id].result(),
                 title=f"run {run_id}",
                 perf=perf.get(run_id),
             )
@@ -175,6 +230,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(list(argv[1:]))
+    if argv and argv[0] == "top":
+        from ..obs.progress import top_main
+
+        return top_main(list(argv[1:]))
     if argv and argv[0] == "lint":
         from ..analysis.cli import lint_main
 
@@ -236,6 +295,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace_out=args.trace_out,
         chrome_out=args.chrome_trace,
         report=args.report,
+        stream=args.stream_trace,
+        window=args.trace_window,
+        progress_every=args.progress_every,
     ):
         report = sim.run_standalone(tasks, faults=faults, until=args.until)
 

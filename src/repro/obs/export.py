@@ -12,18 +12,22 @@
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Optional, Union
+from typing import IO, Iterable, Iterator, Optional, Union
 
 from ..simkernel import Trace, TraceRecord
+from ..simkernel.monitor import record_line, sanitize, trailer_line
 from .spans import RunSpans, build_spans
 
 __all__ = [
     "to_jsonl",
     "read_jsonl",
+    "iter_jsonl",
     "jsonl_runs",
     "jsonl_perf",
     "to_chrome_trace",
     "chrome_events",
+    "counter_events",
+    "counter_series",
     "sanitize",
 ]
 
@@ -32,18 +36,8 @@ __all__ = [
 _PID_JOBS = 1
 _PID_WORKERS = 2
 _PID_PROXIES = 3
+_PID_COUNTERS = 4
 _RUN_STRIDE = 10
-
-
-def sanitize(value):
-    """Best-effort conversion of a trace payload to JSON-safe data."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, dict):
-        return {str(k): sanitize(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [sanitize(v) for v in value]
-    return str(value)
 
 
 def to_jsonl(
@@ -73,21 +67,10 @@ def to_jsonl(
     n = 0
     try:
         for rec in records:
-            line: dict = {"t": rec.time, "cat": rec.category}
-            if rec.data is not None:
-                line["data"] = sanitize(rec.data)
-            if run is not None:
-                line["run"] = run
-            if label:
-                line["label"] = label
-            fh.write(json.dumps(line, separators=(",", ":")) + "\n")
+            fh.write(record_line(rec, run, label))
             n += 1
         if perf is not None:
-            trailer: dict = {"meta": "perf"}
-            if run is not None:
-                trailer["run"] = run
-            trailer.update(sanitize(perf))
-            fh.write(json.dumps(trailer, separators=(",", ":")) + "\n")
+            fh.write(trailer_line(perf, run))
     finally:
         if close:
             fh.close()
@@ -129,6 +112,54 @@ def read_jsonl(
         if close:
             fh.close()
     return records
+
+
+def iter_jsonl(
+    source: Union[str, IO[str]],
+    run: Optional[int] = None,
+    on_perf=None,
+) -> Iterator[tuple[int, TraceRecord]]:
+    """Stream a JSONL dump as ``(run, record)`` pairs, one line in RAM.
+
+    The bounded-memory reload path: ``jets report`` / ``jets lint-trace``
+    fold records through this instead of materializing the whole dump, so
+    spilled million-record traces replay in flat memory.  ``run`` filters
+    to one tagged run; ``on_perf(run, perf_dict)`` is called for every
+    ``{"meta": "perf"}`` trailer encountered.
+    """
+    close = False
+    if isinstance(source, str):
+        fh = open(source)
+        close = True
+    else:
+        fh = source
+    try:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            obj = json.loads(raw)
+            if "meta" in obj:
+                if obj.get("meta") == "perf" and on_perf is not None:
+                    on_perf(
+                        obj.get("run", 0),
+                        {
+                            k: v for k, v in obj.items()
+                            if k not in ("meta", "run")
+                        },
+                    )
+                continue
+            tag = obj.get("run", 0)
+            if run is not None and tag != run:
+                continue
+            yield tag, TraceRecord(
+                time=float(obj["t"]),
+                category=obj["cat"],
+                data=obj.get("data"),
+            )
+    finally:
+        if close:
+            fh.close()
 
 
 def jsonl_runs(source: Union[str, IO[str]]) -> dict[int, list[TraceRecord]]:
@@ -303,6 +334,73 @@ def chrome_events(
     return events
 
 
+def counter_series(
+    source=None, registry=None
+) -> dict[str, list[tuple[float, float]]]:
+    """Collect ``name -> [(time, value)]`` gauge/counter series.
+
+    Merges two origins: the metrics registry's time-weighted gauges
+    (occupancy, queue depths — the full breakpoint series each
+    :class:`~repro.simkernel.Gauge` already keeps) and any ``counter.*``
+    mirror records present in ``source`` (a trace sink or record
+    iterable; a :class:`RunSpans` or None contributes nothing).
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    if registry is not None:
+        series.update(registry.gauge_series())
+    if source is not None and not isinstance(source, RunSpans):
+        if hasattr(source, "select"):
+            recs = source.select("counter.", prefix=True)
+        else:
+            recs = [
+                r for r in source if r.category.startswith("counter.")
+            ]
+        for rec in recs:
+            data = rec.data if isinstance(rec.data, dict) else {}
+            name = data.get("counter") or rec.category[len("counter."):]
+            series.setdefault(name, []).append(
+                (rec.time, float(data.get("value", 0.0)))
+            )
+    return series
+
+
+def counter_events(
+    series: dict[str, list[tuple[float, float]]],
+    run: int = 0,
+    label: str = "",
+) -> list[dict]:
+    """Perfetto counter (``"ph": "C"``) events for gauge series.
+
+    All series of one run share a stable counter pid (run stride + the
+    counters family slot), one tid per series name in sorted order, so
+    occupancy and queue-depth gauges render as proper counter tracks
+    alongside the span processes.
+    """
+    if not series:
+        return []
+    base = run * _RUN_STRIDE
+    pid = base + _PID_COUNTERS
+    tag = f" [{label}]" if label else (f" [run {run}]" if run else "")
+    events: list[dict] = [
+        _meta("process_name", pid, {"name": f"counters{tag}"})
+    ]
+    for tid, name in enumerate(sorted(series)):
+        events.append(_meta("thread_name", pid, {"name": name}, tid=tid))
+        for t, value in series[name]:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": _us(t),
+                    "cat": "jets",
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
 def to_chrome_trace(
     sources,
     out: Union[str, IO[str]],
@@ -310,7 +408,9 @@ def to_chrome_trace(
     """Write a Chrome ``trace_event`` file; returns the event count.
 
     ``sources`` is a Trace / record iterable / RunSpans, or a list of
-    ``(label, source)`` pairs for multi-run sessions.
+    ``(label, source)`` or ``(label, source, registry)`` tuples for
+    multi-run sessions; a registry contributes its gauges as Perfetto
+    counter tracks (:func:`counter_events`).
     """
     if isinstance(sources, (Trace, RunSpans)) or (
         sources and isinstance(sources, list)
@@ -318,9 +418,19 @@ def to_chrome_trace(
     ):
         sources = [("", sources)]
     events: list[dict] = []
-    for run, (label, src) in enumerate(sources):
+    for run, entry in enumerate(sources):
+        if len(entry) == 3:
+            label, src, registry = entry
+        else:
+            label, src = entry
+            registry = None
         spans = src if isinstance(src, RunSpans) else build_spans(src)
         events.extend(chrome_events(spans, run=run, label=label))
+        events.extend(
+            counter_events(
+                counter_series(src, registry), run=run, label=label
+            )
+        )
     doc = {"traceEvents": events, "displayTimeUnit": "ms"}
     if isinstance(out, str):
         with open(out, "w") as fh:

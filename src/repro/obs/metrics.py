@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence, Union
 
-from ..simkernel import Counter, Environment, Gauge, Trace
+from ..simkernel import Counter, Environment, Gauge, TraceSink
 
 __all__ = ["Histogram", "Registry", "quantile"]
 
@@ -86,7 +86,7 @@ class Registry:
     counter without coordinating construction.
     """
 
-    def __init__(self, env: Environment, trace: Optional[Trace] = None):
+    def __init__(self, env: Environment, trace: Optional[TraceSink] = None):
         self.env = env
         self.trace = trace
         self._counters: dict[str, Counter] = {}
@@ -133,6 +133,28 @@ class Registry:
         return sorted(
             [*self._counters, *self._gauges, *self._histograms]
         )
+
+    def gauge_series(self) -> dict[str, list[tuple[float, float]]]:
+        """Every gauge's full ``(time, value)`` breakpoint series.
+
+        Feeds the Chrome ``trace_event`` counter-track export: one
+        Perfetto counter series per gauge (occupancy, queue depths).
+        """
+        return {
+            name: self._gauges[name].series()
+            for name in sorted(self._gauges)
+        }
+
+    def gauge_levels(self) -> dict[str, float]:
+        """Current value of every gauge (sorted by name).
+
+        The cheap sub-snapshot the live-progress heartbeat embeds:
+        queue depths and occupancy levels without the per-instrument
+        statistics :meth:`snapshot` computes.
+        """
+        return {
+            name: self._gauges[name].value for name in sorted(self._gauges)
+        }
 
     def snapshot(self) -> dict[str, dict]:
         """Point-in-time view of every instrument, for reports/exports."""

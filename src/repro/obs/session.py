@@ -18,8 +18,10 @@ import sys
 import time
 from typing import IO, Optional
 
-from ..simkernel import Trace
+from ..simkernel import StreamingTrace, Trace, TraceSink
 from .metrics import Registry
+from .progress import ProgressTracker
+from .spans import SpanBuilder
 
 __all__ = ["ObsSession", "session", "active", "unwritable_reason"]
 
@@ -36,6 +38,9 @@ def session(
     chrome_out: Optional[str] = None,
     report: bool = False,
     report_stream: Optional[IO[str]] = None,
+    stream: bool = False,
+    window: int = 65536,
+    progress_every: Optional[float] = None,
 ) -> "ObsSession":
     """Create a session context (see :class:`ObsSession`)."""
     return ObsSession(
@@ -43,6 +48,9 @@ def session(
         chrome_out=chrome_out,
         report=report,
         report_stream=report_stream,
+        stream=stream,
+        window=window,
+        progress_every=progress_every,
     )
 
 
@@ -55,6 +63,9 @@ class ObsSession:
         chrome_out: Optional[str] = None,
         report: bool = False,
         report_stream: Optional[IO[str]] = None,
+        stream: bool = False,
+        window: int = 65536,
+        progress_every: Optional[float] = None,
     ):
         self.trace_out = trace_out
         # Acceptance path: --trace-out run.jsonl also yields a Chrome
@@ -64,21 +75,86 @@ class ObsSession:
         self.chrome_out = chrome_out
         self.report = report
         self.report_stream = report_stream
-        self.runs: list[tuple[str, Trace, Optional[Registry]]] = []
+        #: Streaming mode: platforms built under this session get a
+        #: windowed :class:`~repro.simkernel.StreamingTrace` that spills
+        #: to ``trace_out`` as the run executes, and every downstream
+        #: consumer (spans for Chrome/report, progress heartbeats) folds
+        #: the stream incrementally — RSS stays flat at any event count.
+        self.stream = stream
+        self.window = window
+        self.progress_every = progress_every
+        self.runs: list[tuple[str, TraceSink, Optional[Registry]]] = []
+        #: Streaming mode only: one span fold per attached run (same
+        #: index as :attr:`runs`), built as records flow.
+        self._span_builders: list[SpanBuilder] = []
+        self._trackers: list[ProgressTracker] = []
         #: Wall-clock stamp per attached run (for live report rendering
         #: only — never exported, so trace dumps stay deterministic).
         self._attach_walls: list[float] = []
 
+    def make_trace(self, env) -> Optional[TraceSink]:
+        """Trace factory for platforms built under this session.
+
+        Returns a streaming sink in streaming mode (run-tagged; the
+        first run truncates the spill file, later runs append after the
+        previous sink is closed at attach time), or None to let the
+        platform build the default in-RAM :class:`Trace`.
+        """
+        if not self.stream:
+            return None
+        return StreamingTrace(
+            env,
+            window=self.window,
+            spill=self.trace_out,
+            run=len(self.runs),
+            truncate=not self.runs,
+        )
+
     def attach(
         self,
-        trace: Trace,
+        trace: TraceSink,
         label: str = "",
         registry: Optional[Registry] = None,
     ) -> None:
         """Register one run's trace (called by Platform.__init__)."""
+        if isinstance(trace, StreamingTrace):
+            # Runs execute sequentially: the previous run is over, so
+            # drain its window and write its trailer *before* the new
+            # sink appends anything — the spill file keeps the exact
+            # record/trailer interleaving of an in-RAM dump.
+            self._close_open_sink()
+            trace.label = label
+            if self.chrome_out or self.report:
+                # Spans are only folded when an output will read them:
+                # span state is bounded by entity count (jobs/workers),
+                # not record count, but a pure spill session shouldn't
+                # pay even that.
+                builder = SpanBuilder()
+                trace.subscribe(builder.fold)
+                self._span_builders.append(builder)
+            else:
+                self._span_builders.append(None)
+        elif self.stream:
+            # An in-RAM trace attached under a streaming session (e.g. a
+            # hand-built platform); keep the fold list index-aligned.
+            self._span_builders.append(None)
+        if self.progress_every:
+            self._trackers.append(
+                ProgressTracker(
+                    trace, every=self.progress_every, registry=registry
+                )
+            )
         self.runs.append((label, trace, registry))
         # Sessions measure wall time by design; sim code stays clock-free.
         self._attach_walls.append(time.perf_counter())  # repro: noqa[DT001]
+
+    def _close_open_sink(self) -> None:
+        """Close the most recently attached streaming sink, if open."""
+        if not self.runs:
+            return
+        _label, trace, _reg = self.runs[-1]
+        if isinstance(trace, StreamingTrace) and not trace.closed:
+            trace.close(perf=trace.perf())
 
     def __enter__(self) -> "ObsSession":
         _STACK.append(self)
@@ -96,6 +172,9 @@ class ObsSession:
         from .export import to_chrome_trace, to_jsonl
         from .report import render_report
 
+        if self.stream:
+            self._flush_streaming(to_chrome_trace, render_report)
+            return
         if self.trace_out:
             try:
                 with open(self.trace_out, "w") as fh:
@@ -121,7 +200,10 @@ class ObsSession:
         if self.chrome_out:
             try:
                 to_chrome_trace(
-                    [(label, trace) for label, trace, _reg in self.runs],
+                    [
+                        (label, trace, registry)
+                        for label, trace, registry in self.runs
+                    ],
                     self.chrome_out,
                 )
             except OSError as exc:
@@ -152,6 +234,75 @@ class ObsSession:
                     ),
                     file=stream,
                 )
+
+    def _flush_streaming(self, to_chrome_trace, render_report) -> None:
+        """Streaming-mode flush: records already spilled as runs ran.
+
+        Closes the last sink (drain + trailer), then renders the Chrome
+        trace and reports from the incrementally-folded spans — the
+        full record stream is never rematerialized.
+        """
+        from .spans import build_spans
+
+        self._close_open_sink()
+
+        def spans_for(i: int, trace: TraceSink):
+            builder = (
+                self._span_builders[i]
+                if i < len(self._span_builders)
+                else None
+            )
+            if builder is not None:
+                return builder.result()
+            return build_spans(trace)
+
+        if self.chrome_out:
+            try:
+                to_chrome_trace(
+                    [
+                        (label, spans_for(i, trace), registry)
+                        for i, (label, trace, registry) in enumerate(
+                            self.runs
+                        )
+                    ],
+                    self.chrome_out,
+                )
+            except OSError as exc:
+                print(f"obs: cannot write {self.chrome_out}: {exc}",
+                      file=sys.stderr)
+        if self.report:
+            stream = self.report_stream or sys.stdout
+            flush_wall = time.perf_counter()  # repro: noqa[DT001]
+            for i, (label, trace, registry) in enumerate(self.runs):
+                title = label or f"run {i}"
+                perf = _sink_perf(trace)
+                if i < len(self._attach_walls):
+                    end = (
+                        self._attach_walls[i + 1]
+                        if i + 1 < len(self._attach_walls)
+                        else flush_wall
+                    )
+                    perf["wall_s"] = end - self._attach_walls[i]
+                print(
+                    render_report(
+                        spans_for(i, trace),
+                        registry=registry,
+                        title=title,
+                        perf=perf,
+                    ),
+                    file=stream,
+                )
+
+
+def _sink_perf(trace: TraceSink) -> dict:
+    """Deterministic perf payload for any sink kind."""
+    if isinstance(trace, StreamingTrace):
+        return trace.perf()
+    return {
+        "events": trace.env.events_processed,
+        "records": len(trace.records),
+        "sim_s": trace.env.now,
+    }
 
 
 def unwritable_reason(path: Optional[str]) -> Optional[str]:

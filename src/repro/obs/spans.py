@@ -48,6 +48,7 @@ __all__ = [
     "JobSpan",
     "WorkerSpan",
     "RunSpans",
+    "SpanBuilder",
     "build_spans",
 ]
 
@@ -284,37 +285,29 @@ def _worker_span(run: RunSpans, worker_id: int) -> WorkerSpan:
 _SPAN_FAMILIES = ("job.", "worker.", "proxy.", "fault.")
 
 
-def build_spans(
-    source: Union[Trace, Iterable[TraceRecord]],
-) -> RunSpans:
-    """Assemble lifecycle spans from a trace (or raw record iterable).
+class SpanBuilder:
+    """Incremental span assembly: fold records one at a time.
 
-    A live :class:`Trace` is consumed through its category index: only
-    lifecycle-family records are visited (counter ticks — often the bulk
-    of a run's records — are skipped entirely), while ``t_first`` /
-    ``t_last`` still come from the full record list so the reported run
-    window is unchanged.  Raw record iterables (the JSONL reload path)
-    are scanned as before.
+    The streaming subscriber form of :func:`build_spans`: subscribe
+    :meth:`fold` to any :class:`~repro.simkernel.TraceSink` (or call it
+    per record while tailing a JSONL file) and read :attr:`run` at any
+    point — the folded spans are always consistent with the records seen
+    so far.  State is proportional to the number of *entities* (jobs,
+    workers), not records, so million-record runs fold in bounded extra
+    memory while counter ticks and wire chatter stream past.
+
+    ``track_window=False`` skips the first/last-record window tracking
+    (the Trace fast path supplies the window from the full record list).
     """
-    records: Iterable[TraceRecord]
-    run = RunSpans()
-    track_window = True
-    if isinstance(source, Trace):
-        if source.records:
-            run.t_first = source.records[0].time
-            run.t_last = source.records[-1].time
-        records = source.select_any(
-            [
-                c
-                for c in source.categories()
-                if c.startswith(_SPAN_FAMILIES) or c == "run.allocation"
-            ]
-        )
-        track_window = False
-    else:
-        records = source
-    for rec in records:
-        if track_window:
+
+    def __init__(self, track_window: bool = True):
+        self.run = RunSpans()
+        self._track_window = track_window
+
+    def fold(self, rec: TraceRecord) -> None:
+        """Fold one record into the spans (subscriber entry point)."""
+        run = self.run
+        if self._track_window:
             if run.t_first is None:
                 run.t_first = rec.time
             run.t_last = rec.time
@@ -336,7 +329,46 @@ def build_spans(
             run.cores_per_node = data.get("cores_per_node")
             run.worker_slots = data.get("slots")
             run.machine = data.get("machine", "")
-    return run
+
+    def result(self) -> RunSpans:
+        """The spans folded so far."""
+        return self.run
+
+
+def build_spans(
+    source: Union[Trace, Iterable[TraceRecord]],
+) -> RunSpans:
+    """Assemble lifecycle spans from a trace (or raw record iterable).
+
+    A live :class:`Trace` is consumed through its category index: only
+    lifecycle-family records are visited (counter ticks — often the bulk
+    of a run's records — are skipped entirely), while ``t_first`` /
+    ``t_last`` still come from the full record list so the reported run
+    window is unchanged.  Raw record iterables (the JSONL reload path)
+    are scanned as before.  For *streaming* sinks, subscribe a
+    :class:`SpanBuilder` instead — by the time a windowed sink could be
+    scanned here, evicted records would already be gone.
+    """
+    records: Iterable[TraceRecord]
+    builder = SpanBuilder()
+    if isinstance(source, Trace):
+        if source.records:
+            builder.run.t_first = source.records[0].time
+            builder.run.t_last = source.records[-1].time
+        records = source.select_any(
+            [
+                c
+                for c in source.categories()
+                if c.startswith(_SPAN_FAMILIES) or c == "run.allocation"
+            ]
+        )
+        builder._track_window = False
+    else:
+        records = source
+    fold = builder.fold
+    for rec in records:
+        fold(rec)
+    return builder.run
 
 
 def _apply_job(run: RunSpans, t: float, state: str, data: dict) -> None:

@@ -20,7 +20,15 @@ from .core import (
     SimulationError,
     Timeout,
 )
-from .monitor import Counter, Gauge, IntervalLog, Trace, TraceRecord
+from .monitor import (
+    Counter,
+    Gauge,
+    IntervalLog,
+    StreamingTrace,
+    Trace,
+    TraceRecord,
+    TraceSink,
+)
 from .resources import (
     Container,
     FilterStore,
@@ -52,7 +60,9 @@ __all__ = [
     "SeededOrder",
     "SimulationError",
     "Store",
+    "StreamingTrace",
     "Timeout",
     "Trace",
     "TraceRecord",
+    "TraceSink",
 ]

@@ -4,18 +4,86 @@ The experiment harnesses derive every reported metric (utilization, task
 rates, load levels) from :class:`Trace` records and :class:`Gauge` series
 rather than ad-hoc bookkeeping inside the model, mirroring how the paper
 instruments worker/task start/stop times (Section 6.1.5).
+
+Two trace sinks implement the :class:`TraceSink` contract:
+
+* :class:`Trace` — the default in-RAM indexed sink.  Every record is
+  retained and indexed per category; post-hoc ``select``/``times``
+  queries answer in O(matches).  Memory grows linearly with the run.
+* :class:`StreamingTrace` — the bounded-memory sink.  Records flow
+  through a retention window (a high-water-marked deque of interned
+  compact records); older records spill to a JSONL segment file in the
+  exact archival format :func:`repro.obs.export.to_jsonl` writes, so a
+  spilled trace is a first-class ``jets report`` / ``jets lint-trace``
+  input.  Consumers that need the full record stream subscribe
+  (:meth:`TraceSink.subscribe`) and fold each record *at log time*,
+  before any eviction — the subscriber contract guarantees every record
+  is delivered exactly once, in log order.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from bisect import bisect_left, bisect_right
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .core import Environment
 
-__all__ = ["TraceRecord", "Trace", "Counter", "Gauge", "IntervalLog"]
+__all__ = [
+    "TraceRecord",
+    "TraceSink",
+    "Trace",
+    "StreamingTrace",
+    "Counter",
+    "Gauge",
+    "IntervalLog",
+    "sanitize",
+    "record_line",
+    "trailer_line",
+]
+
+
+def sanitize(value):
+    """Best-effort conversion of a trace payload to JSON-safe data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [sanitize(v) for v in value]
+    return str(value)
+
+
+def record_line(
+    rec: "TraceRecord", run: Optional[int] = None, label: str = ""
+) -> str:
+    """One record as its archival JSONL line (newline included).
+
+    This is the *single* encoder for trace records on disk: the in-RAM
+    exporter (:func:`repro.obs.export.to_jsonl`) and the streaming spill
+    path both call it, so an in-RAM dump and a spilled streaming trace of
+    the same run are byte-identical by construction.
+    """
+    line: dict = {"t": rec.time, "cat": rec.category}
+    if rec.data is not None:
+        line["data"] = sanitize(rec.data)
+    if run is not None:
+        line["run"] = run
+    if label:
+        line["label"] = label
+    return json.dumps(line, separators=(",", ":")) + "\n"
+
+
+def trailer_line(perf: dict, run: Optional[int] = None) -> str:
+    """The ``{"meta": "perf"}`` trailer as a JSONL line."""
+    trailer: dict = {"meta": "perf"}
+    if run is not None:
+        trailer["run"] = run
+    trailer.update(sanitize(perf))
+    return json.dumps(trailer, separators=(",", ":")) + "\n"
 
 
 class TraceRecord:
@@ -54,7 +122,39 @@ class TraceRecord:
         )
 
 
-class Trace:
+class TraceSink:
+    """The sink contract every trace implementation satisfies.
+
+    Sinks accept :meth:`log` calls and fan each finished record out to
+    registered subscribers *synchronously, in log order, exactly once* —
+    before any retention policy may evict it.  Subscribers are plain
+    callables taking one :class:`TraceRecord`; they must not log into
+    the sink re-entrantly unless they guard against their own records
+    (see :class:`repro.obs.progress.ProgressTracker`).
+    """
+
+    env: Environment
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def log(self, category: str, data: Any = None) -> None:
+        raise NotImplementedError
+
+    def subscribe(
+        self, fn: Callable[[TraceRecord], None]
+    ) -> Callable[[TraceRecord], None]:
+        """Register ``fn`` to receive every future record; returns it."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        self._subscribers.remove(fn)
+
+
+class Trace(TraceSink):
     """Append-only event trace with indexed category filtering.
 
     Alongside the flat ``records`` list, the trace maintains a
@@ -67,7 +167,7 @@ class Trace:
     """
 
     def __init__(self, env: Environment):
-        self.env = env
+        super().__init__(env)
         self.records: list[TraceRecord] = []
         #: category -> ascending record indices (insertion-ordered keys).
         self._index: dict[str, list[int]] = {}
@@ -80,7 +180,11 @@ class Trace:
         if bucket is None:
             bucket = self._index[category] = []
         bucket.append(len(records))
-        records.append(TraceRecord(self.env.now, category, data))
+        rec = TraceRecord(self.env.now, category, data)
+        records.append(rec)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(rec)
 
     def categories(self, prefix: str = "") -> list[str]:
         """Distinct categories (optionally under ``prefix``), in first-
@@ -140,6 +244,208 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class StreamingTrace(TraceSink):
+    """Bounded-memory trace sink: retention window + JSONL spill segments.
+
+    Records pass through a deque capped at ``window`` entries (the
+    high-water mark).  When the window overflows, the oldest records are
+    evicted in log order: appended to an in-memory segment buffer and
+    written to the ``spill`` file once ``segment_records`` lines
+    accumulate (one large write per segment instead of one per record).
+    Without a spill path, evicted records are simply dropped and counted
+    in :attr:`dropped` — the subscribers have already folded them.
+
+    The spill file uses the archival JSONL format of
+    :func:`repro.obs.export.to_jsonl` (via :func:`record_line`), tagged
+    with this sink's ``run``/``label``, and :meth:`close` appends the
+    deterministic ``{"meta": "perf"}`` trailer — so a fully-spilled
+    trace is byte-identical to an in-RAM dump of the same seed and feeds
+    straight into ``jets report`` / ``jets lint-trace``.
+
+    The query surface (:meth:`select`, :meth:`times`, :meth:`select_any`,
+    :meth:`categories`) answers over the *retained window only*; all-time
+    per-category totals survive eviction in :meth:`counts`.  Consumers
+    needing the full stream must subscribe before records flow.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        window: int = 65536,
+        spill: Optional[str] = None,
+        run: Optional[int] = None,
+        label: str = "",
+        truncate: bool = False,
+        segment_records: int = 8192,
+    ):
+        super().__init__(env)
+        self.window: "deque[TraceRecord]" = deque()
+        self.high_water = max(1, int(window))
+        self.spill_path = spill
+        self.run = run
+        self.label = label
+        self.segment_records = max(1, int(segment_records))
+        #: All-time record count (monotone; includes evicted records).
+        self.total = 0
+        #: Records written to the spill file so far.
+        self.spilled = 0
+        #: Records evicted with no spill path configured.
+        self.dropped = 0
+        #: Records logged after :meth:`close` (e.g. component teardown
+        #: finalizers firing after the session flushed); silently
+        #: dropped — an in-RAM trace never exports post-dump records
+        #: either — but counted for tests and diagnostics.
+        self.late = 0
+        self.closed = False
+        self._truncate = truncate
+        self._fh = None
+        self._segment: list[str] = []
+        #: category -> all-time count (insertion-ordered, interned keys).
+        self._counts: dict[str, int] = {}
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def log(self, category: str, data: Any = None) -> None:
+        """Record ``data`` under ``category`` at the current sim time.
+
+        After :meth:`close` the record is counted in :attr:`late` and
+        dropped (the spill file is complete; late teardown logs have
+        nowhere correct to go).
+        """
+        if self.closed:
+            self.late += 1
+            return
+        category = sys.intern(category)
+        counts = self._counts
+        counts[category] = counts.get(category, 0) + 1
+        rec = TraceRecord(self.env.now, category, data)
+        self.total += 1
+        if self._first_time is None:
+            self._first_time = rec.time
+        self._last_time = rec.time
+        window = self.window
+        window.append(rec)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(rec)
+        if len(window) > self.high_water:
+            self._evict(len(window) - self.high_water)
+
+    # -- retention / spill ----------------------------------------------------
+
+    def _evict(self, n: int) -> None:
+        window = self.window
+        if self.spill_path is None:
+            for _ in range(n):
+                window.popleft()
+            self.dropped += n
+            return
+        segment = self._segment
+        run, label = self.run, self.label
+        for _ in range(n):
+            segment.append(record_line(window.popleft(), run, label))
+        self.spilled += n
+        if len(segment) >= self.segment_records:
+            self._write_segment()
+
+    def _open(self):
+        if self._fh is None:
+            self._fh = open(self.spill_path, "w" if self._truncate else "a")
+            self._truncate = False
+        return self._fh
+
+    def _write_segment(self) -> None:
+        if self._segment:
+            self._open().write("".join(self._segment))
+            self._segment.clear()
+
+    def flush(self) -> None:
+        """Force the buffered spill segment onto disk (window retained)."""
+        if self.spill_path is not None:
+            self._write_segment()
+            if self._fh is not None:
+                self._fh.flush()
+
+    def drain(self) -> None:
+        """Spill (or drop) every retained record, emptying the window."""
+        if self.window:
+            self._evict(len(self.window))
+        self.flush()
+
+    def close(self, perf: Optional[dict] = None) -> None:
+        """Drain the window, append the perf trailer, release the file.
+
+        ``perf`` should be seed-deterministic (kernel events, record
+        count, simulated seconds — never wall-clock) so same-seed spills
+        stay byte-identical.  Closing twice is a no-op.
+        """
+        if self.closed:
+            return
+        self.drain()
+        if self.spill_path is not None:
+            fh = self._open()
+            if perf is not None:
+                fh.write(trailer_line(perf, self.run))
+            fh.close()
+            self._fh = None
+        self.closed = True
+
+    def perf(self) -> dict:
+        """The deterministic perf trailer payload for this sink's run."""
+        return {
+            "events": self.env.events_processed,
+            "records": self.total,
+            "sim_s": self.env.now,
+        }
+
+    # -- query surface (retained window only) ---------------------------------
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained window as a list (oldest first)."""
+        return list(self.window)
+
+    @property
+    def retained(self) -> int:
+        """How many records the window currently holds."""
+        return len(self.window)
+
+    def counts(self, prefix: str = "") -> dict[str, int]:
+        """All-time per-category record counts (eviction-proof)."""
+        if prefix:
+            return {
+                c: n for c, n in self._counts.items() if c.startswith(prefix)
+            }
+        return dict(self._counts)
+
+    def categories(self, prefix: str = "") -> list[str]:
+        """Distinct categories ever logged, in first-appearance order."""
+        if prefix:
+            return [c for c in self._counts if c.startswith(prefix)]
+        return list(self._counts)
+
+    def select(self, category: str, prefix: bool = False) -> list[TraceRecord]:
+        """Retained records in ``category`` (or category prefix)."""
+        if prefix:
+            return [
+                r for r in self.window if r.category.startswith(category)
+            ]
+        return [r for r in self.window if r.category == category]
+
+    def select_any(self, categories: Iterable[str]) -> list[TraceRecord]:
+        """Retained records in any given category, in time order."""
+        wanted = set(categories)
+        return [r for r in self.window if r.category in wanted]
+
+    def times(self, category: str, prefix: bool = False) -> list[float]:
+        """Timestamps of retained records in ``category`` (or prefix)."""
+        return [r.time for r in self.select(category, prefix)]
+
+    def __len__(self) -> int:
+        """All-time record count (total logged, not just retained)."""
+        return self.total
 
 
 class Counter:

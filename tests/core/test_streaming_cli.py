@@ -1,0 +1,126 @@
+"""CLI surface of the streaming pipeline: --stream-trace, report, top.
+
+End-to-end over the real ``jets`` entry points: a run recorded with
+``--stream-trace`` spills a JSONL file that ``jets report``, ``jets
+lint-trace`` and ``jets top`` all accept and reconstruct offline,
+including the perf trailer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+@pytest.fixture
+def taskfile(tmp_path):
+    path = tmp_path / "tasks.txt"
+    path.write_text(
+        "MPI: 2 mpi-bench 0.5\n"
+        "SERIAL: sleep 0.2\n"
+        "SERIAL: sleep 0.2\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def spilled(tmp_path, taskfile):
+    """A run recorded through the streaming sink; returns the spill path."""
+    out = tmp_path / "run.jsonl"
+    code = main(
+        [
+            taskfile,
+            "--machine", "generic", "--nodes", "4",
+            "--trace-out", str(out),
+            "--stream-trace", "--trace-window", "32",
+        ]
+    )
+    assert code == 0
+    return str(out)
+
+
+class TestParserFlags:
+    def test_streaming_flags_default_off(self):
+        args = build_parser().parse_args(["tasks.txt"])
+        assert args.stream_trace is False
+        assert args.trace_window == 65536
+        assert args.progress_every is None
+
+    def test_streaming_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "tasks.txt", "--stream-trace", "--trace-window", "128",
+                "--progress-every", "2.5",
+            ]
+        )
+        assert args.stream_trace is True
+        assert args.trace_window == 128
+        assert args.progress_every == 2.5
+
+    def test_report_follow_flags_parse(self):
+        from repro.core.cli import build_report_parser
+
+        args = build_report_parser().parse_args(
+            ["t.jsonl", "--follow", "--poll", "0.1", "--idle-timeout", "5"]
+        )
+        assert args.follow is True
+        assert args.poll == 0.1
+        assert args.idle_timeout == 5.0
+
+
+class TestSpilledTraceConsumers:
+    def test_spill_ends_with_perf_trailer(self, spilled):
+        lines = open(spilled).read().splitlines()
+        trailer = json.loads(lines[-1])
+        assert trailer["meta"] == "perf"
+        assert trailer["records"] == len(lines) - 1
+        assert trailer["sim_s"] > 0
+
+    def test_report_reconstructs_offline(self, spilled, capsys):
+        assert main(["report", spilled]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+        # The perf trailer rides into the rendered report.
+        assert "records" in out
+
+    def test_lint_trace_accepts_spill(self, spilled, capsys):
+        assert main(["lint-trace", spilled]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_top_snapshots_spill(self, spilled, capsys):
+        assert main(["top", spilled]) == 0
+        out = capsys.readouterr().out
+        assert "[run 0]" in out
+        assert "(complete)" in out
+
+    def test_progress_heartbeats_land_in_spill(
+        self, tmp_path, taskfile, capsys
+    ):
+        out = tmp_path / "hb.jsonl"
+        code = main(
+            [
+                taskfile,
+                "--machine", "generic", "--nodes", "4",
+                "--trace-out", str(out),
+                "--stream-trace", "--progress-every", "0.5",
+            ]
+        )
+        assert code == 0
+        beats = [
+            json.loads(ln)
+            for ln in out.read_text().splitlines()
+            if json.loads(ln).get("cat") == "obs.progress"
+        ]
+        assert beats
+        # Heartbeats pass the trace linter like any schema'd category.
+        assert main(["lint-trace", str(out)]) == 0
+
+    def test_report_follow_on_complete_spill(self, spilled, capsys):
+        code = main(
+            ["report", spilled, "--follow", "--poll", "0.01"]
+        )
+        assert code == 0
+        assert "(complete)" in capsys.readouterr().out

@@ -1,0 +1,283 @@
+"""StreamingTrace: retention windows, spill segments, subscriber contract.
+
+The bounded-memory sink must be a drop-in for the in-RAM ``Trace`` at the
+subscriber and archival layers: every record reaches subscribers exactly
+once (before any eviction), and a fully-spilled JSONL file is
+byte-identical to an in-RAM dump of the same log sequence.  The query
+surface intentionally differs — it answers over the retained window only
+— and these tests pin that boundary too.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.simkernel import Environment, StreamingTrace, Trace
+from repro.obs.export import to_jsonl
+
+#: Categories used by the synthetic streams below (schema validity is
+#: irrelevant at this layer; the sink never inspects payloads).
+_CATS = ("job.submit", "job.done", "worker.beat")
+
+
+def _log_n(sink, n, with_time=False):
+    """Log ``n`` synthetic records; optionally advance sim time per record."""
+    if not with_time:
+        for i in range(n):
+            sink.log(_CATS[i % len(_CATS)], {"i": i})
+        return
+
+    def proc():
+        for i in range(n):
+            sink.log(_CATS[i % len(_CATS)], {"i": i})
+            yield sink.env.timeout(0.5)
+
+    sink.env.process(proc())
+    sink.env.run()
+
+
+class TestWindowRetention:
+    def test_window_never_exceeds_high_water(self, env):
+        t = StreamingTrace(env, window=16)
+        for i in range(100):
+            t.log("job.submit", {"i": i})
+            assert t.retained <= 16
+        assert t.retained == 16
+        assert t.total == 100
+        assert len(t) == 100  # __len__ is the all-time count
+
+    def test_eviction_is_oldest_first_no_gap_no_dup(self, env):
+        t = StreamingTrace(env, window=8)
+        _log_n(t, 50)
+        kept = [r.data["i"] for r in t.records]
+        assert kept == list(range(42, 50))
+
+    def test_drop_counting_without_spill(self, env):
+        t = StreamingTrace(env, window=10)
+        _log_n(t, 25)
+        assert t.dropped == 15
+        assert t.total == t.retained + t.dropped
+
+    def test_counts_and_categories_survive_eviction(self, env):
+        t = StreamingTrace(env, window=2)
+        _log_n(t, 30)
+        assert sum(t.counts().values()) == 30
+        assert t.counts()["job.submit"] == 10
+        assert t.counts("job.")["job.done"] == 10
+        assert "worker.beat" not in t.counts("job.")
+        # First-appearance order, even though the early records are gone.
+        assert t.categories() == list(_CATS)
+        assert t.categories("worker.") == ["worker.beat"]
+
+    def test_query_surface_is_window_only(self, env):
+        t = StreamingTrace(env, window=6)
+        _log_n(t, 30)
+        window = t.records
+        assert t.select("job.submit") == [
+            r for r in window if r.category == "job.submit"
+        ]
+        assert t.select("job.", prefix=True) == [
+            r for r in window if r.category.startswith("job.")
+        ]
+        assert t.select_any(["job.done", "worker.beat"]) == [
+            r for r in window if r.category in ("job.done", "worker.beat")
+        ]
+        assert t.times("worker.beat") == [
+            r.time for r in window if r.category == "worker.beat"
+        ]
+
+    def test_select_any_preserves_log_order_across_categories(self, env):
+        t = StreamingTrace(env, window=64)
+        _log_n(t, 30, with_time=True)
+        merged = t.select_any(["job.submit", "job.done"])
+        assert [r.data["i"] for r in merged] == sorted(
+            r.data["i"] for r in merged
+        )
+        assert merged == t.select("job.", prefix=True)
+
+    def test_window_floor_is_one(self, env):
+        t = StreamingTrace(env, window=0)
+        _log_n(t, 5)
+        assert t.high_water == 1
+        assert t.retained == 1
+        assert t.records[0].data["i"] == 4
+
+
+class TestSpill:
+    def _mirror(self, env, n, tmp_path, window=8, with_time=True):
+        """Drive an in-RAM Trace and a spilling StreamingTrace in lockstep."""
+        ram = Trace(env)
+        spill = tmp_path / "stream.jsonl"
+        st = StreamingTrace(
+            env, window=window, spill=str(spill), run=0, truncate=True
+        )
+
+        def proc():
+            for i in range(n):
+                cat = _CATS[i % len(_CATS)]
+                ram.log(cat, {"i": i})
+                st.log(cat, {"i": i})
+                yield env.timeout(0.25)
+
+        env.process(proc())
+        env.run()
+        return ram, st, spill
+
+    def test_spill_is_byte_identical_to_in_ram_dump(self, env, tmp_path):
+        ram, st, spill = self._mirror(env, 100, tmp_path)
+        perf = st.perf()
+        st.close(perf=perf)
+        dump = tmp_path / "ram.jsonl"
+        with open(dump, "w") as fh:
+            to_jsonl(ram, fh, run=0, perf=perf)
+        assert spill.read_bytes() == dump.read_bytes()
+        assert st.spilled == 100
+        assert st.dropped == 0
+
+    def test_trailer_is_last_line_and_tagged(self, env, tmp_path):
+        _ram, st, spill = self._mirror(env, 20, tmp_path)
+        st.close(perf=st.perf())
+        lines = spill.read_text().splitlines()
+        assert len(lines) == 21
+        trailer = json.loads(lines[-1])
+        assert trailer["meta"] == "perf"
+        assert trailer["run"] == 0
+        assert trailer["records"] == 20
+        assert all("meta" not in json.loads(ln) for ln in lines[:-1])
+
+    def test_segments_flush_during_the_run(self, env, tmp_path):
+        spill = tmp_path / "seg.jsonl"
+        st = StreamingTrace(
+            env, window=4, spill=str(spill), truncate=True, segment_records=8
+        )
+        _log_n(st, 40)
+        st.flush()
+        # Evicted records are already on disk mid-run (the file is a
+        # valid, growing JSONL prefix), window still retained.
+        on_disk = spill.read_text().splitlines()
+        assert len(on_disk) == st.spilled == 36
+        assert [json.loads(ln)["data"]["i"] for ln in on_disk] == list(
+            range(36)
+        )
+        assert st.retained == 4
+
+    def test_close_drains_window_and_is_idempotent(self, env, tmp_path):
+        spill = tmp_path / "d.jsonl"
+        st = StreamingTrace(env, window=64, spill=str(spill), truncate=True)
+        _log_n(st, 10)
+        assert st.retained == 10
+        st.close(perf={"records": 10})
+        st.close(perf={"records": 999})  # no-op: no second trailer
+        lines = spill.read_text().splitlines()
+        assert len(lines) == 11
+        assert json.loads(lines[-1])["records"] == 10
+        assert st.retained == 0
+
+    def test_late_records_after_close_are_counted_not_written(
+        self, env, tmp_path
+    ):
+        spill = tmp_path / "l.jsonl"
+        st = StreamingTrace(env, window=4, spill=str(spill), truncate=True)
+        _log_n(st, 6)
+        st.close(perf=st.perf())
+        st.log("worker.stop", {"worker": 1})
+        st.log("worker.stop", {"worker": 2})
+        assert st.late == 2
+        assert st.total == 6
+        assert len(spill.read_text().splitlines()) == 7
+
+    def test_append_mode_stacks_runs_in_one_file(self, env, tmp_path):
+        spill = tmp_path / "multi.jsonl"
+        first = StreamingTrace(
+            env, window=4, spill=str(spill), run=0, truncate=True
+        )
+        _log_n(first, 6)
+        first.close(perf=first.perf())
+        second = StreamingTrace(
+            env, window=4, spill=str(spill), run=1, truncate=False
+        )
+        _log_n(second, 4)
+        second.close(perf=second.perf())
+        runs = [json.loads(ln).get("run") for ln in spill.read_text().splitlines()]
+        assert runs == [0] * 7 + [1] * 5
+
+    def test_label_lands_on_every_record_line(self, env, tmp_path):
+        spill = tmp_path / "lbl.jsonl"
+        st = StreamingTrace(
+            env, window=2, spill=str(spill), run=0, label="fig06",
+            truncate=True,
+        )
+        _log_n(st, 5)
+        st.close(perf=st.perf())
+        lines = [json.loads(ln) for ln in spill.read_text().splitlines()]
+        assert all(ln["label"] == "fig06" for ln in lines[:-1])
+
+
+class TestSubscriberContract:
+    def test_every_record_delivered_exactly_once_across_eviction(self, env):
+        t = StreamingTrace(env, window=4)
+        seen: list[int] = []
+        t.subscribe(lambda rec: seen.append(rec.data["i"]))
+        _log_n(t, 200)
+        assert seen == list(range(200))
+
+    def test_subscriber_sees_record_before_eviction(self, env):
+        t = StreamingTrace(env, window=1)
+        observed: list[bool] = []
+        # With window=1 the record that triggers eviction is itself
+        # retained; the *previous* record is evicted only after this
+        # one's fan-out — so the newest record is always in the window
+        # when the subscriber runs.
+        t.subscribe(lambda rec: observed.append(t.window[-1] is rec))
+        _log_n(t, 20)
+        assert all(observed)
+
+    def test_unsubscribe_stops_delivery(self, env):
+        t = StreamingTrace(env, window=8)
+        seen: list[int] = []
+        fn = t.subscribe(lambda rec: seen.append(rec.data["i"]))
+        _log_n(t, 3)
+        t.unsubscribe(fn)
+        _log_n(t, 3)
+        assert seen == [0, 1, 2]
+
+    def test_in_ram_and_streaming_fan_out_identically(self, env):
+        ram, st = Trace(env), StreamingTrace(env, window=2)
+        ram_seen: list[tuple] = []
+        st_seen: list[tuple] = []
+        ram.subscribe(lambda r: ram_seen.append((r.time, r.category, r.data)))
+        st.subscribe(lambda r: st_seen.append((r.time, r.category, r.data)))
+        for i in range(50):
+            ram.log(_CATS[i % 3], {"i": i})
+            st.log(_CATS[i % 3], {"i": i})
+        assert ram_seen == st_seen
+
+
+class TestBoundedMemory:
+    def _alloc_peak(self, make_sink, n) -> int:
+        env = Environment()
+        sink = make_sink(env)
+        tracemalloc.start()
+        try:
+            _log_n(sink, n)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def test_streaming_peak_is_flat_while_in_ram_grows(self):
+        stream_small = self._alloc_peak(
+            lambda env: StreamingTrace(env, window=256), 20_000
+        )
+        stream_large = self._alloc_peak(
+            lambda env: StreamingTrace(env, window=256), 40_000
+        )
+        ram_large = self._alloc_peak(lambda env: Trace(env), 40_000)
+        # Doubling the stream leaves the streaming peak essentially
+        # unchanged (window-bounded), while the in-RAM sink retains
+        # every record and dwarfs it.
+        assert stream_large < stream_small * 1.5
+        assert ram_large > stream_large * 5
