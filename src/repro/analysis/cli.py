@@ -1,23 +1,43 @@
-"""``jets lint`` / ``jets lint-trace`` subcommands.
+"""``jets lint`` / ``jets lint-trace`` / ``jets sanitize`` subcommands.
 
 Usage::
 
-    jets lint [PATH ...] [--select RULES] [--min-severity LEVEL] [--list-rules]
+    jets lint [PATH ...] [--select RULES] [--ignore RULES]
+              [--min-severity LEVEL] [--format text|json]
+              [--list-rules] [--explain RULE] [--catalog]
     jets lint-trace RUN.jsonl [--run N] [--no-schema] [--no-lifecycle]
+    jets sanitize [PATH ...] [--static-only | --dynamic-only | --fixture]
+                  [--schedules N] [--seed S] [--strict]
 
 ``jets lint`` runs the static rule sets over Python sources (default:
 ``src`` if present, else the current directory) and exits non-zero when
 any finding at or above ``--min-severity`` survives the inline
-``# repro: noqa[RULE]`` suppressions.  ``jets lint-trace`` validates a
-recorded JSONL run against the trace schema registry and the lifecycle
-state machines.
+``# repro: noqa[RULE]`` suppressions.  ``--format json`` emits one
+machine-readable document (path/line/col/rule/severity/message per
+finding) for CI annotation.  ``jets lint-trace`` validates a recorded
+JSONL run against the trace schema registry and the lifecycle state
+machines.
+
+``jets sanitize`` is the two-layer race/determinism sanitizer: the
+static happens-before and RNG-sharing rules (HB*/RS*, alongside the
+full DT/TR/SK/PR sets) over the sources, then a dynamic pass running
+the schedule-exploration smoke workload with a
+:class:`~repro.analysis.hbmodel.HappensBeforeChecker` attached — vector
+clocks over the live trace, flagging same-timestamp record pairs with
+no happens-before path.  ``--fixture`` instead runs the built-in seeded
+race demo end-to-end: the checker must find the planted race and the
+schedule-permutation confirmation loop must classify it
+outcome-changing (the sanitizer self-test CI runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import os
 import sys
+import textwrap
 from typing import Optional, Sequence
 
 from .framework import SEVERITIES, all_rules, lint_paths
@@ -26,8 +46,11 @@ from .tracecheck import TraceValidator
 __all__ = [
     "build_lint_parser",
     "build_lint_trace_parser",
+    "build_sanitize_parser",
     "lint_main",
     "lint_trace_main",
+    "sanitize_main",
+    "rule_catalog",
 ]
 
 
@@ -35,7 +58,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="jets lint",
         description="Static invariant checks (trace schema, determinism, "
-        "simkernel misuse) over Python sources.",
+        "simkernel misuse, happens-before hazards) over Python sources.",
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -46,15 +69,70 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
         "--min-severity", choices=SEVERITIES, default="warning",
         help="findings below this level are reported but do not fail "
         "the run (default: warning)",
     )
     parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text); json emits one document "
+        "with files/findings/errors for CI annotation",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print a rule's full description and examples, then exit",
+    )
+    parser.add_argument(
+        "--catalog", action="store_true",
+        help="print the rule catalog as a markdown table and exit "
+        "(the README generator)",
+    )
     return parser
+
+
+def _explain_rule(rule_id: str) -> int:
+    """Print one rule's documentation; exit code for lint_main."""
+    wanted = rule_id.upper()
+    for cls in all_rules():
+        if cls.id != wanted:
+            continue
+        print(f"{cls.id} [{cls.severity}] — {cls.description}")
+        doc = inspect.getdoc(cls)
+        if doc:
+            print()
+            print(doc)
+        if cls.example_bad:
+            print()
+            print("flagged:")
+            print(textwrap.indent(cls.example_bad, "    "))
+        if cls.example_good:
+            print()
+            print("fixed:")
+            print(textwrap.indent(cls.example_good, "    "))
+        return 0
+    known = ", ".join(sorted(c.id for c in all_rules()))
+    print(f"jets lint: unknown rule {rule_id} (known: {known})",
+          file=sys.stderr)
+    return 2
+
+
+def rule_catalog() -> str:
+    """The registered rules as a markdown table (README generator)."""
+    lines = [
+        "| Rule | Severity | Checks |",
+        "| --- | --- | --- |",
+    ]
+    for cls in sorted(all_rules(), key=lambda c: c.id):
+        lines.append(f"| {cls.id} | {cls.severity} | {cls.description} |")
+    return "\n".join(lines)
 
 
 def build_lint_trace_parser() -> argparse.ArgumentParser:
@@ -90,26 +168,54 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in sorted(all_rules(), key=lambda r: r.id):
             print(f"{rule.id}  [{rule.severity:7s}] {rule.description}")
         return 0
+    if args.explain:
+        return _explain_rule(args.explain)
+    if args.catalog:
+        print(rule_catalog())
+        return 0
     paths = list(args.paths)
     if not paths:
         paths = ["src"] if os.path.isdir("src") else ["."]
     select = (
         [s for s in args.select.split(",") if s] if args.select else None
     )
+    ignore = (
+        [s for s in args.ignore.split(",") if s] if args.ignore else None
+    )
     try:
-        result = lint_paths(paths, select=select)
+        result = lint_paths(paths, select=select, ignore=ignore)
     except ValueError as exc:
         print(f"jets lint: {exc}", file=sys.stderr)
         return 2
-    for error in result.errors:
-        print(f"jets lint: {error}", file=sys.stderr)
-    for finding in result.findings:
-        print(finding.render())
     threshold = SEVERITIES.index(args.min_severity)
     failing = [
         f for f in result.findings
         if SEVERITIES.index(f.severity) >= threshold
     ]
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "files": result.files,
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "rule": f.rule,
+                        "severity": f.severity,
+                        "message": f.message,
+                    }
+                    for f in result.findings
+                ],
+                "errors": result.errors,
+            },
+            indent=2,
+        ))
+        return 2 if result.errors else (1 if failing else 0)
+    for error in result.errors:
+        print(f"jets lint: {error}", file=sys.stderr)
+    for finding in result.findings:
+        print(finding.render())
     summary = ", ".join(
         f"{result.count(sev)} {sev}" for sev in reversed(SEVERITIES)
         if result.count(sev)
@@ -176,3 +282,205 @@ def lint_trace_main(argv: Optional[Sequence[str]] = None) -> int:
             + (f"{len(issues)} issues" if issues else "valid")
         )
     return 1 if total else 0
+
+
+def build_sanitize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jets sanitize",
+        description="Two-layer race/determinism sanitizer: static "
+        "happens-before rules over sources plus a dynamic vector-clock "
+        "pass over a live run, with schedule-permutation confirmation.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="sources for the static layer (default: ./src or .)",
+    )
+    parser.add_argument(
+        "--static-only", action="store_true",
+        help="run only the static rule layer",
+    )
+    parser.add_argument(
+        "--dynamic-only", action="store_true",
+        help="run only the dynamic happens-before layer",
+    )
+    parser.add_argument(
+        "--fixture", action="store_true",
+        help="self-test: run the seeded race demo; exit 0 only if the "
+        "checker finds the planted race AND permuted schedules confirm "
+        "it outcome-changing",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=8, metavar="N",
+        help="schedules for the dynamic layer / confirmation loop "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for schedule permutation (default: 0)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="unconfirmed dynamic race candidates fail the run instead "
+        "of being reported informationally",
+    )
+    parser.add_argument(
+        "--max-candidates", type=int, default=20, metavar="N",
+        help="print at most N race candidates (default: 20)",
+    )
+    return parser
+
+
+def _sanitize_static(paths: Sequence[str]) -> tuple[int, int]:
+    """Static layer: full rule set; returns (findings, exit code)."""
+    result = lint_paths(paths)
+    for error in result.errors:
+        print(f"jets sanitize: {error}", file=sys.stderr)
+    for finding in result.findings:
+        print(finding.render())
+    n = len(result.findings)
+    print(
+        f"jets sanitize: static layer — {result.files} files, "
+        + (f"{n} findings" if n else "clean")
+    )
+    if result.errors:
+        return n, 2
+    return n, (1 if n else 0)
+
+
+def _confirm_fixture(schedules: int, seed: int) -> tuple[int, int]:
+    """Permute the demo's schedule; returns (divergent, total) counts."""
+    from ..obs.export import CanonicalDigest
+    from ..simkernel import SeededOrder
+    from .explore import _derive_seed
+    from .hbmodel import seeded_race_demo
+
+    def digest_of(order) -> str:
+        _, trace, _ = seeded_race_demo(order=order)
+        digest = CanonicalDigest()
+        for rec in trace.records:
+            digest.feed(rec)
+        return digest.hexdigest()
+
+    baseline = digest_of(None)
+    divergent = 0
+    for index in range(1, schedules + 1):
+        if digest_of(SeededOrder(_derive_seed(seed, index))) != baseline:
+            divergent += 1
+    return divergent, schedules
+
+
+def _sanitize_fixture(args) -> int:
+    """``--fixture``: the sanitizer self-test on the seeded race demo."""
+    from .hbmodel import seeded_race_demo
+
+    _, _, checker = seeded_race_demo(checker=True)
+    candidates = checker.finish() if checker is not None else []
+    for cand in candidates[: args.max_candidates]:
+        print(f"  candidate: {cand.render()}")
+    if not candidates:
+        print(
+            "jets sanitize: fixture FAILED — seeded race not detected",
+            file=sys.stderr,
+        )
+        return 1
+    divergent, total = _confirm_fixture(args.schedules, args.seed)
+    verdict = "outcome-changing" if divergent else "benign"
+    print(
+        f"jets sanitize: fixture — {len(candidates)} candidate(s); "
+        f"{divergent}/{total} permuted schedules diverge from the FIFO "
+        f"baseline — {verdict}"
+    )
+    if not divergent:
+        print(
+            "jets sanitize: fixture FAILED — no permuted schedule changed "
+            "the outcome (expected outcome-changing)",
+            file=sys.stderr,
+        )
+        return 1
+    print("jets sanitize: fixture ok (planted race found and confirmed)")
+    return 0
+
+
+def _sanitize_dynamic(args) -> int:
+    """Dynamic layer: HB checker riding the exploration smoke workload."""
+    from .explore import ExploreConfig, run_schedule
+    from .hbmodel import HappensBeforeChecker
+
+    config = ExploreConfig(
+        schedules=args.schedules, seed=args.seed, faults=False,
+        serial_tasks=2, mpi_tasks=1,
+    )
+    checkers: list[HappensBeforeChecker] = []
+
+    def attach(env, platform) -> None:
+        checkers.append(
+            HappensBeforeChecker(env).attach(
+                platform.trace, platform.network
+            )
+        )
+
+    failures = 0
+    candidates: dict[tuple, object] = {}
+    for index in range(config.schedules):
+        result = run_schedule(config, index, attach=attach)
+        if not result.ok:
+            failures += 1
+            for problem in result.problems[:5]:
+                print(f"  schedule {index}: {problem}")
+        for cand in checkers[-1].finish():
+            existing = candidates.get(cand.key())
+            if existing is not None:
+                existing.count += cand.count  # type: ignore[attr-defined]
+            else:
+                candidates[cand.key()] = cand
+    ordered = sorted(
+        candidates.values(),
+        key=lambda c: (-c.count, c.time, c.key()),  # type: ignore
+    )
+    for cand in ordered[: args.max_candidates]:
+        print(f"  candidate: {cand.render()}")  # type: ignore[attr-defined]
+    print(
+        f"jets sanitize: dynamic layer — {config.schedules} schedules, "
+        f"{len(ordered)} race candidate(s)"
+        + (f", {failures} schedule failures" if failures else "")
+    )
+    if failures:
+        return 1
+    if ordered and args.strict:
+        return 1
+    return 0
+
+
+def sanitize_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets sanitize`` entry point; returns the exit code.
+
+    Exit 0 means: static rules clean AND the dynamic layer ran without
+    oracle failures (race candidates are informational unless
+    ``--strict``).  With ``--fixture``, exit 0 means the planted race
+    was found and confirmed outcome-changing.
+    """
+    args = build_sanitize_parser().parse_args(argv)
+    if args.static_only and args.dynamic_only:
+        print(
+            "jets sanitize: --static-only and --dynamic-only are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fixture:
+        return _sanitize_fixture(args)
+
+    worst = 0
+    if not args.dynamic_only:
+        paths = list(args.paths)
+        if not paths:
+            paths = ["src"] if os.path.isdir("src") else ["."]
+        _, code = _sanitize_static(paths)
+        worst = max(worst, code)
+        if code == 2:
+            return 2
+    if not args.static_only:
+        worst = max(worst, _sanitize_dynamic(args))
+    if worst == 0:
+        print("jets sanitize: clean")
+    return worst

@@ -15,6 +15,10 @@ host environment breaks that promise silently.  Rules:
 * **DT004** — iterating an unordered ``set``/``frozenset`` expression
   (set literals, ``set(...)`` calls): iteration order varies with hash
   seeding and perturbs event scheduling.  Sort or use a list/dict.
+* **DT005** — ambient process state: ``os.environ``/``os.getenv`` reads
+  (environment-derived seeds and knobs vary between hosts and CI runs)
+  and *bare* wall-clock function references (``clock = time.monotonic``)
+  that smuggle a host clock past DT001's call-site check.
 """
 
 from __future__ import annotations
@@ -24,9 +28,18 @@ from typing import Iterator
 
 from .framework import Finding, Module, Rule, register
 
-__all__ = ["WallClock", "GlobalRandom", "UnseededNumpyRandom", "SetIteration"]
+__all__ = [
+    "WallClock",
+    "GlobalRandom",
+    "UnseededNumpyRandom",
+    "SetIteration",
+    "AmbientState",
+]
 
-#: Wall-clock attributes of the ``time`` module.
+#: Wall-clock attributes of the ``time`` module.  ``sleep`` is here too:
+#: it does not *read* the clock but blocks on it, so a simulated
+#: component calling it couples event timing to the host (use
+#: ``env.timeout``).
 _TIME_FUNCS = {
     "time",
     "time_ns",
@@ -36,6 +49,7 @@ _TIME_FUNCS = {
     "perf_counter_ns",
     "localtime",
     "gmtime",
+    "sleep",
 }
 
 #: Wall-clock constructors on datetime/date classes.
@@ -74,6 +88,8 @@ class WallClock(Rule):
     id = "DT001"
     severity = "error"
     description = "wall-clock read in simulation code (use env.now)"
+    example_bad = "start = time.time()"
+    example_good = "start = env.now"
 
     def check(self, module: Module) -> Iterator[Finding]:
         origins = _imported_names(module)
@@ -111,6 +127,8 @@ class GlobalRandom(Rule):
     id = "DT002"
     severity = "error"
     description = "process-global random module in simulation code"
+    example_bad = "delay = random.expovariate(rate)"
+    example_good = 'delay = rng.stream("delay").expovariate(rate)'
 
     def check(self, module: Module) -> Iterator[Finding]:
         origins = _imported_names(module)
@@ -146,6 +164,8 @@ class UnseededNumpyRandom(Rule):
     id = "DT003"
     severity = "error"
     description = "unseeded numpy randomness in simulation code"
+    example_bad = "gen = np.random.default_rng()"
+    example_good = "gen = np.random.default_rng(seed)"
 
     _GLOBAL_FUNCS = {
         "rand", "randn", "randint", "random", "choice", "shuffle",
@@ -198,6 +218,8 @@ class SetIteration(Rule):
     id = "DT004"
     severity = "warning"
     description = "iteration over an unordered set expression"
+    example_bad = "for name in {t.name for t in tasks}: ..."
+    example_good = "for name in sorted(t.name for t in tasks): ..."
 
     def check(self, module: Module) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -215,4 +237,100 @@ class SetIteration(Rule):
                         "iterating a set yields hash-seed-dependent order "
                         "that can perturb event scheduling; sort it or use "
                         "a list/dict",
+                    )
+
+
+@register
+class AmbientState(Rule):
+    """Ambient process state leaking into simulation code.
+
+    Two shapes, both invisible to DT001's call-site check:
+
+    * ``os.environ[...]`` / ``os.environ.get(...)`` / ``os.getenv(...)``
+      reads — environment-derived seeds, thresholds or feature flags
+      differ between hosts and CI runs, so two "identical" seeded runs
+      diverge.  Thread configuration through explicit parameters.
+    * *Bare* references to wall-clock functions
+      (``clock = time.monotonic``): the clock escapes as a value and is
+      called somewhere DT001 cannot see.  Inject a simulated clock
+      (``lambda: env.now``) instead.
+    """
+
+    id = "DT005"
+    severity = "warning"
+    description = "ambient state read (os.environ / bare wall-clock ref)"
+    example_bad = 'seed = int(os.environ.get("SEED", "0"))'
+    example_good = "def run(seed: int): ...  # seed is an explicit argument"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        origins = _imported_names(module)
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+        }
+
+        def resolve(dotted: str) -> list[str]:
+            parts = dotted.split(".")
+            return origins.get(parts[0], parts[0]).split(".") + parts[1:]
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if not dotted:
+                    continue
+                resolved = resolve(dotted)
+                if (
+                    resolved[:2] == ["os", "getenv"]
+                    or resolved[:2] == ["os", "environ"]
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() reads the process environment; pass "
+                        "configuration (seeds especially) as explicit "
+                        "arguments",
+                    )
+            elif isinstance(node, ast.Subscript):
+                dotted = _dotted(node.value)
+                if dotted and resolve(dotted)[:2] == ["os", "environ"]:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}[...] reads the process environment; pass "
+                        "configuration (seeds especially) as explicit "
+                        "arguments",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                # Bare wall-clock reference outside call position.
+                if id(node) in call_funcs:
+                    continue
+                if isinstance(node, ast.Attribute):
+                    if not isinstance(node.ctx, ast.Load):
+                        continue
+                    dotted = _dotted(node)
+                    if not dotted:
+                        continue
+                    resolved = resolve(dotted)
+                    bad = (
+                        len(resolved) == 2
+                        and resolved[0] == "time"
+                        and resolved[1] in _TIME_FUNCS
+                    )
+                else:
+                    if not isinstance(node.ctx, ast.Load):
+                        continue
+                    dotted = node.id
+                    origin = origins.get(node.id, "")
+                    bad = (
+                        origin.startswith("time.")
+                        and origin.split(".")[1] in _TIME_FUNCS
+                    )
+                if bad:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"bare wall-clock reference {dotted} escapes the "
+                        "call-site check; inject a simulated clock "
+                        "(lambda: env.now) instead",
                     )

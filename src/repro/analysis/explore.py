@@ -65,6 +65,11 @@ class ExploreConfig:
     heartbeat: float = 0.5
     until: float = 900.0
     max_attempts: int = 6
+    #: Inject worker kills on odd schedules.  The sanitizer's race-
+    #: confirmation loop turns this off: it compares outcome digests
+    #: across schedules, and a kill is a *real* behavioural difference
+    #: that would drown the reordering signal it is looking for.
+    faults: bool = True
 
 
 @dataclass
@@ -78,6 +83,9 @@ class ScheduleResult:
     drained: bool
     wire_count: int
     problems: list[str] = field(default_factory=list)
+    #: Canonical outcome digest (same-timestamp order-insensitive); two
+    #: schedules with equal digests were observably equivalent.
+    digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -119,8 +127,19 @@ def _derive_seed(base: int, index: int) -> int:
     return (base * 1_000_003 + index) & ((1 << 63) - 1) or 1
 
 
-def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
-    """Execute and validate one schedule of the smoke configuration."""
+def run_schedule(
+    config: ExploreConfig, index: int, attach=None
+) -> ScheduleResult:
+    """Execute and validate one schedule of the smoke configuration.
+
+    ``attach(env, platform)``, when given, is called after the standard
+    validators are wired but before any workload starts — the hook the
+    sanitizer uses to ride a
+    :class:`~repro.analysis.hbmodel.HappensBeforeChecker` (or any other
+    observer) along an explored schedule.  Observers must be
+    observation-only; the schedule itself is fully determined by
+    ``config`` and ``index``.
+    """
     # Imported here: the analysis layer stays importable without pulling
     # the whole middleware stack in for the static rules.
     from ..apps.synthetic import BarrierSleepBarrier, SleepProgram
@@ -129,6 +148,7 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
     from ..core.dispatcher import JetsDispatcher, JetsServiceConfig
     from ..core.tasklist import JobSpec
     from ..core.worker import WorkerAgent
+    from ..obs.export import CanonicalDigest
 
     seed = _derive_seed(config.seed, index)
     env = Environment(order=SeededOrder(seed))
@@ -147,6 +167,10 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
     platform.trace.subscribe(trace_validator.feed)
     sessions = SessionValidator()
     platform.network.add_tap(sessions.tap)
+    digest = CanonicalDigest()
+    platform.trace.subscribe(digest.feed)
+    if attach is not None:
+        attach(env, platform)
 
     dispatcher = JetsDispatcher(
         platform,
@@ -160,12 +184,17 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
             node,
             dispatcher.endpoint,
             heartbeat_interval=config.heartbeat,
+            worker_id=i,
         )
-        for node in platform.nodes
+        for i, node in enumerate(platform.nodes)
     ]
     for agent in agents:
         agent.start()
 
+    # Explicit job ids: the default JobSpec ids draw from a process-wide
+    # counter, which would make the outcome digest depend on how many
+    # specs this *process* built before — a schedule must be a pure
+    # function of (config, index) for digest comparison to mean anything.
     jobs = []
     for i in range(config.serial_tasks):
         jobs.append(
@@ -174,9 +203,10 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
                 nodes=1,
                 mpi=False,
                 max_attempts=config.max_attempts,
+                job_id=f"job{i}",
             )
         )
-    for _i in range(config.mpi_tasks):
+    for i in range(config.mpi_tasks):
         jobs.append(
             JobSpec(
                 program=BarrierSleepBarrier(0.8),
@@ -184,6 +214,7 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
                 ppn=config.cores_per_node,
                 mpi=True,
                 max_attempts=config.max_attempts,
+                job_id=f"job{config.serial_tasks + i}",
             )
         )
     dispatcher.submit_many(jobs)
@@ -193,7 +224,7 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
     # run_proxy wire-up and the application phase as schedules vary.
     killed_worker: Optional[int] = None
     kill_time: Optional[float] = None
-    if index % 2 == 1:
+    if config.faults and index % 2 == 1:
         draw = SeededOrder(
             (seed * 0x9E3779B97F4A7C15 + 0x5DEECE66D) & ((1 << 63) - 1) or 1
         )
@@ -233,6 +264,7 @@ def run_schedule(config: ExploreConfig, index: int) -> ScheduleResult:
         kill_time=kill_time,
         drained=drained,
         wire_count=sessions.seen,
+        digest=digest.hexdigest(),
     )
     if not drained:
         result.problems.append(

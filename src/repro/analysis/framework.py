@@ -19,6 +19,7 @@ __all__ = [
     "Severity",
     "Finding",
     "Module",
+    "Dataflow",
     "Rule",
     "ProjectRule",
     "register",
@@ -36,6 +37,28 @@ Severity = str
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9, ]+)\])?", re.IGNORECASE
 )
+
+
+def _iter_comments(
+    source: str, lines: Sequence[str]
+) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(lineno, col, text)`` for each comment token in ``source``.
+
+    Falls back to a whole-line scan if tokenization fails (the caller has
+    already ast-parsed the source, so that should not happen in practice).
+    """
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(lines, 1):
+            if "#" in line:
+                col = line.index("#")
+                yield lineno, col, line[col:]
 
 
 @dataclass(frozen=True, order=True)
@@ -56,6 +79,205 @@ class Finding:
         )
 
 
+#: Nodes that open a new variable scope (module + function-likes).
+_SCOPE_NODES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: Attribute method names whose callable argument becomes a simkernel
+#: callback (delivered at event time, with no ordering guarantee among
+#: same-time events).
+_CALLBACK_REGISTERS = frozenset(
+    {"subscribe", "add_tap", "_add_callback", "set_provenance"}
+)
+
+
+class Dataflow:
+    """Intra-module def-use chains and simkernel callback boundaries.
+
+    A deliberately lightweight, flow-insensitive pass over one parsed
+    module, shared by the HB/RS race rules (:mod:`.race_rules`):
+
+    * **def-use chains** — per scope (module body, each function/lambda),
+      every name's assignment sites (:meth:`defs`, :meth:`reaching_defs`)
+      and load sites (:meth:`uses`);
+    * **callback boundaries** — the set of function nodes whose bodies
+      run *as simkernel callbacks*: generator factories handed to
+      ``env.process(...)``, and callables registered via
+      ``*.callbacks.append(...)``, ``subscribe(...)``, ``add_tap(...)``,
+      ``_add_callback(...)`` or ``set_provenance(...)``.  Two distinct
+      callback bodies of one class may be delivered at the same sim time
+      in either order, which is what HB001 leans on;
+    * **loop captures** — for each ``for``/``while``/comprehension, the
+      loop variables and the nested function nodes defined inside it
+      (HB002's late-binding hazard).
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        #: child node -> parent node, for upward walks.
+        self.parent: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parent[child] = node
+        #: scope node -> name -> assigned value expressions.
+        self._defs: dict[ast.AST, dict[str, list[ast.expr]]] = {}
+        #: scope node -> name -> Name load nodes.
+        self._uses: dict[ast.AST, dict[str, list[ast.Name]]] = {}
+        self._index_names()
+        #: function nodes whose bodies execute as simkernel callbacks.
+        self.callbacks: set[ast.AST] = set()
+        self._detect_callbacks()
+
+    # -- structure ---------------------------------------------------------
+
+    def scope_of(self, node: ast.AST) -> ast.AST:
+        """The innermost scope (function/lambda/module) holding ``node``."""
+        cur = self.parent.get(node)
+        while cur is not None and not isinstance(cur, _SCOPE_NODES):
+            cur = self.parent.get(cur)
+        return cur if cur is not None else self.tree
+
+    def class_of(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        """The innermost enclosing class of ``node`` (None at module level)."""
+        cur = self.parent.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur
+            cur = self.parent.get(cur)
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function/lambda holding ``node`` (None at module)."""
+        scope = self.scope_of(node)
+        return scope if isinstance(scope, _FUNC_NODES) else None
+
+    def in_callback(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost *callback-boundary* function holding ``node``."""
+        cur: Optional[ast.AST] = self.enclosing_function(node)
+        while cur is not None:
+            if cur in self.callbacks:
+                return cur
+            cur = self.enclosing_function(cur)
+        return None
+
+    # -- def-use chains ----------------------------------------------------
+
+    def _index_names(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._add_def(target, target.id, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    self._add_def(node.target, node.target.id, node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    self._add_def(node.target, node.target.id, node.value)
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    self._add_def(node.target, node.target.id, node.value)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                scope = self.scope_of(node)
+                self._uses.setdefault(scope, {}).setdefault(
+                    node.id, []
+                ).append(node)
+
+    def _add_def(self, target: ast.AST, name: str, value: ast.expr) -> None:
+        scope = self.scope_of(target)
+        self._defs.setdefault(scope, {}).setdefault(name, []).append(value)
+
+    def defs(self, scope: ast.AST, name: str) -> list[ast.expr]:
+        """Assignment value expressions of ``name`` in ``scope`` alone."""
+        return self._defs.get(scope, {}).get(name, [])
+
+    def uses(self, scope: ast.AST, name: str) -> list[ast.Name]:
+        """Load sites of ``name`` in ``scope`` alone."""
+        return self._uses.get(scope, {}).get(name, [])
+
+    def reaching_defs(self, node: ast.AST, name: str) -> list[ast.expr]:
+        """Assignment sites of ``name`` visible from ``node``.
+
+        Walks scopes outward and returns the *innermost* scope's def
+        sites (Python's lexical lookup, flow-insensitively).
+        """
+        scope: Optional[ast.AST] = self.scope_of(node)
+        while scope is not None:
+            found = self._defs.get(scope, {}).get(name)
+            if found:
+                return found
+            if isinstance(scope, ast.Module):
+                break
+            nxt = self.scope_of(scope)
+            scope = None if nxt is scope else nxt
+        return []
+
+    # -- callback boundaries -----------------------------------------------
+
+    def _detect_callbacks(self) -> None:
+        local_funcs: dict[tuple[int, str], ast.AST] = {}
+        methods: dict[tuple[int, str], ast.AST] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_funcs[(id(self.scope_of(node)), node.name)] = node
+                parent = self.parent.get(node)
+                if isinstance(parent, ast.ClassDef):
+                    methods[(id(parent), node.name)] = node
+        for call in ast.walk(self.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            if attr == "process":
+                # env.process(self._run()) / env.process(loop(...)):
+                # the generator factory's body is the callback.
+                for arg in call.args[:1]:
+                    if isinstance(arg, ast.Call):
+                        self._mark(arg.func, call, local_funcs, methods)
+            elif attr in _CALLBACK_REGISTERS:
+                for arg in call.args[:1]:
+                    self._mark(arg, call, local_funcs, methods)
+            elif attr == "append" and isinstance(func.value, ast.Attribute):
+                if func.value.attr == "callbacks":
+                    for arg in call.args[:1]:
+                        self._mark(arg, call, local_funcs, methods)
+
+    def _mark(
+        self,
+        ref: ast.AST,
+        site: ast.AST,
+        local_funcs: dict[tuple[int, str], ast.AST],
+        methods: dict[tuple[int, str], ast.AST],
+    ) -> None:
+        if isinstance(ref, ast.Lambda):
+            self.callbacks.add(ref)
+            return
+        if isinstance(ref, ast.Name):
+            scope: Optional[ast.AST] = self.scope_of(site)
+            while scope is not None:
+                found = local_funcs.get((id(scope), ref.id))
+                if found is not None:
+                    self.callbacks.add(found)
+                    return
+                if isinstance(scope, ast.Module):
+                    return
+                nxt = self.scope_of(scope)
+                scope = None if nxt is scope else nxt
+            return
+        if (
+            isinstance(ref, ast.Attribute)
+            and isinstance(ref.value, ast.Name)
+            and ref.value.id == "self"
+        ):
+            cls = self.class_of(site)
+            if cls is not None:
+                found = methods.get((id(cls), ref.attr))
+                if found is not None:
+                    self.callbacks.add(found)
+
+
 class Module:
     """One parsed source file handed to every rule."""
 
@@ -66,20 +288,40 @@ class Module:
         self.lines = source.splitlines()
         #: line number -> frozenset of suppressed rule ids (empty = all).
         self.noqa: dict[int, frozenset[str]] = {}
-        for lineno, line in enumerate(self.lines, 1):
-            m = _NOQA_RE.search(line)
+        #: line number -> column of the noqa comment (for NQ001 findings).
+        self.noqa_col: dict[int, int] = {}
+        #: lines whose noqa actually suppressed at least one finding.
+        self.used_noqa: set[int] = set()
+        self._dataflow: Optional[Dataflow] = None
+        # Tokenize so only genuine comments count: the noqa syntax quoted
+        # in a docstring or string literal is documentation, not a
+        # suppression (and must not trip NQ001 as "unused").
+        for lineno, col, comment in _iter_comments(source, self.lines):
+            m = _NOQA_RE.search(comment)
             if m:
                 rules = m.group("rules")
                 self.noqa[lineno] = frozenset(
                     r.strip().upper() for r in rules.split(",") if r.strip()
                 ) if rules else frozenset()
+                self.noqa_col[lineno] = col + m.start() + 1
+
+    @property
+    def dataflow(self) -> Dataflow:
+        """The module's def-use/callback pass, built on first access."""
+        if self._dataflow is None:
+            self._dataflow = Dataflow(self.tree)
+        return self._dataflow
 
     def suppressed(self, rule: str, line: int) -> bool:
-        """Whether ``rule`` is noqa'd on ``line``."""
+        """Whether ``rule`` is noqa'd on ``line`` (usage is recorded for
+        the unused-suppression check, NQ001)."""
         rules = self.noqa.get(line)
         if rules is None:
             return False
-        return not rules or rule.upper() in rules
+        if not rules or rule.upper() in rules:
+            self.used_noqa.add(line)
+            return True
+        return False
 
 
 class Rule:
@@ -89,6 +331,9 @@ class Rule:
     id: str = ""
     severity: Severity = "error"
     description: str = ""
+    #: Optional snippets rendered by ``jets lint --explain RULE``.
+    example_bad: str = ""
+    example_good: str = ""
 
     def check(self, module: Module) -> Iterator[Finding]:
         raise NotImplementedError
@@ -142,6 +387,7 @@ def all_rules() -> list[Type[Rule]]:
     from . import (  # noqa: F401
         determinism_rules,
         protocol_rules,
+        race_rules,
         simkernel_rules,
         trace_rules,
     )
@@ -149,16 +395,72 @@ def all_rules() -> list[Type[Rule]]:
     return list(_RULES)
 
 
-def rules_for(select: Optional[Iterable[str]] = None) -> list[Rule]:
-    """Instantiate registered rules, optionally filtered by id."""
+def rules_for(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Rule]:
+    """Instantiate registered rules, filtered by ``select``/``ignore`` ids."""
     classes = all_rules()
+    known = {c.id for c in classes}
     if select is not None:
         wanted = {s.upper() for s in select}
-        unknown = wanted - {c.id for c in classes}
+        unknown = wanted - known
         if unknown:
             raise ValueError(f"unknown rule ids: {sorted(unknown)}")
         classes = [c for c in classes if c.id in wanted]
+    if ignore is not None:
+        dropped = {s.upper() for s in ignore}
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        classes = [c for c in classes if c.id not in dropped]
     return [c() for c in classes]
+
+
+@register
+class UnusedSuppression(Rule):
+    """``# repro: noqa`` comment that suppresses nothing.
+
+    A suppression matching no finding is dead weight: either the hazard
+    it silenced was fixed (delete the comment) or the rule id is wrong —
+    in which case the *real* finding is not suppressed at all.  Detection
+    runs in the lint runner after every other rule has reported, and only
+    when the full rule set is active: under ``--select``/``--ignore`` a
+    noqa can look unused merely because its rule did not run.
+    """
+
+    id = "NQ001"
+    severity = "warning"
+    description = "suppression comment that suppresses no finding"
+    example_bad = "x = compute()  # repro: noqa[DT001]  (nothing trips DT001 here)"
+    example_good = "t = time.time()  # repro: noqa[DT001]  wall clock ok: log banner"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # Emitted by the runner (see _unused_noqa); the class exists so
+        # NQ001 shows up in --list-rules/--explain and can be --ignore'd.
+        return iter(())
+
+
+def _covers_all(rules: Sequence[Rule]) -> bool:
+    """Whether the active set is the full registry (NQ001 gate)."""
+    active = {r.id for r in rules}
+    return all(c.id in active for c in all_rules())
+
+
+def _unused_noqa(module: Module) -> Iterator[Finding]:
+    """NQ001 findings for suppression lines that suppressed nothing."""
+    for line, rules in sorted(module.noqa.items()):
+        if line in module.used_noqa or "NQ001" in rules:
+            continue
+        label = ", ".join(sorted(rules)) if rules else "bare"
+        yield Finding(
+            path=module.path,
+            line=line,
+            col=module.noqa_col.get(line, 1),
+            rule="NQ001",
+            severity="warning",
+            message=f"unused suppression ({label}): no finding matched",
+        )
 
 
 @dataclass
@@ -205,6 +507,8 @@ def lint_source(
         for f in raw:
             if not module.suppressed(f.rule, f.line):
                 findings.append(f)
+    if _covers_all(rules):
+        findings.extend(_unused_noqa(module))
     return sorted(findings)
 
 
@@ -224,14 +528,17 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str],
     select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
 ) -> LintResult:
     """Lint every .py file under ``paths``.
 
     Per-module rules run file by file; project rules run once over the
     whole parsed set so cross-module invariants (a kind sent in one file,
-    handled in another) are checked against the full picture.
+    handled in another) are checked against the full picture.  Unused
+    suppressions (NQ001) are reported last, once every rule — including
+    project rules — has had its chance to consume a noqa.
     """
-    rules = rules_for(select)
+    rules = rules_for(select, ignore)
     module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     result = LintResult()
@@ -243,15 +550,16 @@ def lint_paths(
             result.errors.append(f"{path}: {exc}")
             continue
         try:
-            result.findings.extend(
-                lint_source(source, str(path), module_rules)
-            )
-            if project_rules:
-                tree = ast.parse(source, filename=str(path))
-                modules.append(Module(str(path), source, tree))
+            tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
             result.errors.append(f"{path}: syntax error: {exc}")
             continue
+        module = Module(str(path), source, tree)
+        modules.append(module)
+        for rule in module_rules:
+            for f in rule.check(module):
+                if not module.suppressed(f.rule, f.line):
+                    result.findings.append(f)
         result.files += 1
     if project_rules and modules:
         by_path = {m.path: m for m in modules}
@@ -260,5 +568,8 @@ def lint_paths(
                 module = by_path.get(f.path)
                 if module is None or not module.suppressed(f.rule, f.line):
                     result.findings.append(f)
+    if _covers_all(rules):
+        for module in modules:
+            result.findings.extend(_unused_noqa(module))
     result.findings.sort()
     return result

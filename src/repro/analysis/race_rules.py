@@ -1,0 +1,413 @@
+"""Static happens-before and RNG-sharing hazards (HB*/RS* rules).
+
+These rules power the static layer of ``jets sanitize``.  They lean on
+:class:`repro.analysis.framework.Dataflow` — per-module def-use chains
+plus detection of *callback boundaries* (function bodies that run as
+simkernel callbacks: generator factories handed to ``env.process``,
+callables registered on ``event.callbacks`` / ``subscribe`` /
+``add_tap``).  Two callbacks of the same object may be delivered at the
+same simulated timestamp in either order, so anything they share without
+an explicit ordering edge is schedule-dependent state:
+
+* **HB001** — shared mutable state (``self.attr`` or a closure variable)
+  written from two or more distinct callbacks, with at least one
+  read-modify-write or cross-callback read.  Last-writer-wins and
+  increment races both look exactly like this.
+* **HB002** — a function defined inside a loop capturing the loop
+  variable by reference; when the function runs later (as a callback)
+  every instance sees the *final* loop value.
+* **RS001** — RNG stream aliasing: the same literal stream name drawn
+  via ``.stream("name")`` from two or more distinct scopes.  Streams are
+  deterministic *per consumer*; two entities interleaving draws from one
+  stream make each draw's value depend on the event schedule.
+* **RS002** — iteration over a set (directly or through a variable whose
+  binding is a set expression) whose loop body schedules events: the
+  hash-seed-dependent order becomes the event insertion order.  Dict
+  views are deliberately excluded — dict iteration is insertion-ordered,
+  which the deterministic kernel pins.
+
+HB001 findings are warnings, not errors: a static pass cannot see
+event-chain ordering edges (A's callback scheduled B, so B's callbacks
+run strictly after A's).  When ordering is real, suppress with a
+justification comment; when it is not, the dynamic
+:class:`repro.analysis.hbmodel.HappensBeforeChecker` will usually find
+the same pair at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from .framework import (
+    Dataflow,
+    Finding,
+    Module,
+    ProjectRule,
+    Rule,
+    register,
+)
+
+__all__ = [
+    "SharedCallbackState",
+    "LoopVariableCapture",
+    "StreamAliasing",
+    "SetOrderIntoSchedule",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_SCOPE_NODES = (ast.Module,) + _FUNC_NODES
+
+#: Method names whose call schedules/settles simkernel events.
+_SCHED_ATTRS = frozenset(
+    {
+        "process",
+        "timeout",
+        "schedule",
+        "succeed",
+        "fail",
+        "put",
+        "send",
+        "request",
+        "interrupt",
+        "submit",
+        "trigger",
+    }
+)
+
+
+def _func_name(node: ast.AST) -> str:
+    return getattr(node, "name", "<lambda>")
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    """Names bound by a loop target (handles tuple unpacking)."""
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _def_scope(df: Dataflow, node: ast.AST, name: str) -> Optional[ast.AST]:
+    """The innermost scope at/above ``node`` that assigns ``name``."""
+    scope: Optional[ast.AST] = df.scope_of(node)
+    while scope is not None:
+        if df.defs(scope, name):
+            return scope
+        if isinstance(scope, ast.Module):
+            return None
+        nxt = df.scope_of(scope)
+        scope = None if nxt is scope else nxt
+    return None
+
+
+@register
+class SharedCallbackState(Rule):
+    """Shared mutable state written from two or more callbacks.
+
+    Tracks two sharing shapes: ``self.attr`` writes spread across
+    distinct callback methods of one class, and writes through a closure
+    variable (``state[...] = v``, ``total += n``) bound in a scope
+    outside the writing callback.  A finding fires when at least two
+    distinct callbacks write the same location *and* the location is
+    also read from a callback (or any write is a read-modify-write) —
+    pure double-initialisation without readers is noise.
+    """
+
+    id = "HB001"
+    severity = "warning"
+    description = "state written from multiple callbacks without ordering"
+    example_bad = (
+        "def writer_a(): shared['x'] = 1   # both run at t, either order\n"
+        "def writer_b(): shared['x'] = 2"
+    )
+    example_good = (
+        "done_a = writer_a_event()\n"
+        "done_a.callbacks.append(writer_b)  # explicit ordering edge"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        df = module.dataflow
+        if not df.callbacks:
+            return
+        # key -> {"writes": [(callback, node)], "rmw": bool, "read": bool}
+        state: dict[tuple, dict] = {}
+
+        def record_write(key: tuple, cb: ast.AST, node: ast.AST,
+                         rmw: bool) -> None:
+            entry = state.setdefault(
+                key, {"writes": [], "rmw": False, "read": False}
+            )
+            entry["writes"].append((cb, node))
+            entry["rmw"] = entry["rmw"] or rmw
+
+        def record_read(key: tuple) -> None:
+            entry = state.setdefault(
+                key, {"writes": [], "rmw": False, "read": False}
+            )
+            entry["read"] = True
+
+        def key_for(target: ast.expr, site: ast.AST) -> Optional[tuple]:
+            """A stable identity for the written location, or None."""
+            base = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                cls = df.class_of(site)
+                return ("self", id(cls), base.attr, base.attr)
+            if isinstance(base, ast.Name):
+                scope = _def_scope(df, site, base.id)
+                cb = df.in_callback(site)
+                if scope is None or cb is None or scope is cb:
+                    return None  # local to the callback: not shared
+                # Only shared if defined *outside* every callback that
+                # touches it — scope being a non-callback ancestor.
+                if df.in_callback(scope) is cb:
+                    return None
+                return ("name", id(scope), base.id, base.id)
+            return None
+
+        for node in ast.walk(module.tree):
+            targets: list[tuple[ast.expr, bool]] = []
+            if isinstance(node, ast.Assign):
+                targets = [(t, False) for t in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [(node.target, False)]
+            elif isinstance(node, ast.AugAssign):
+                targets = [(node.target, True)]
+            for target, rmw in targets:
+                # Plain name rebinding is scope-local unless declared
+                # nonlocal/global; only attribute/subscript stores (and
+                # augmented stores) mutate shared structure.
+                if isinstance(target, ast.Name) and not rmw:
+                    continue
+                cb = df.in_callback(node)
+                if cb is None:
+                    continue
+                key = key_for(target, node)
+                if key is not None:
+                    record_write(key, cb, node, rmw)
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and df.in_callback(node) is not None
+                ):
+                    record_read(("self", id(df.class_of(node)), node.attr,
+                                 node.attr))
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    cb = df.in_callback(node)
+                    if cb is not None:
+                        scope = _def_scope(df, node, base.id)
+                        if scope is not None and scope is not cb:
+                            record_read(("name", id(scope), base.id, base.id))
+
+        for key, entry in state.items():
+            writers = {cb for cb, _ in entry["writes"]}
+            if len(writers) < 2 or not (entry["rmw"] or entry["read"]):
+                continue
+            first = min(entry["writes"], key=lambda w: w[1].lineno)
+            names = ", ".join(sorted(_func_name(cb) for cb in writers))
+            yield self.finding(
+                module,
+                first[1],
+                f"'{key[3]}' is written from {len(writers)} callbacks "
+                f"({names}) with no ordering edge; same-timestamp delivery "
+                "order decides the outcome",
+            )
+
+
+@register
+class LoopVariableCapture(Rule):
+    """Function defined in a loop capturing the loop variable.
+
+    Python closures capture *variables*, not values: every function
+    created in the loop shares the single loop variable, and a callback
+    that fires after the loop finishes sees its final value.  Bind the
+    value explicitly (default argument or ``functools.partial``).
+    """
+
+    id = "HB002"
+    severity = "warning"
+    description = "callback captures loop variable by reference"
+    example_bad = (
+        "for job in jobs:\n"
+        "    done.callbacks.append(lambda e: finish(job))  # all see last job"
+    )
+    example_good = (
+        "for job in jobs:\n"
+        "    done.callbacks.append(lambda e, job=job: finish(job))"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        df = module.dataflow
+        for func in ast.walk(module.tree):
+            if not isinstance(func, _FUNC_NODES):
+                continue
+            # Loop targets between this function and its enclosing scope.
+            loop_vars: set[str] = set()
+            cur = df.parent.get(func)
+            while cur is not None and not isinstance(cur, _SCOPE_NODES):
+                if isinstance(cur, (ast.For, ast.AsyncFor)):
+                    loop_vars |= _target_names(cur.target)
+                cur = df.parent.get(cur)
+            if not loop_vars:
+                continue
+            # An immediately-invoked function consumes the current value.
+            parent = df.parent.get(func)
+            if isinstance(parent, ast.Call) and parent.func is func:
+                continue
+            params = {
+                a.arg
+                for a in (
+                    func.args.args
+                    + func.args.kwonlyargs
+                    + func.args.posonlyargs
+                )
+            }
+            if func.args.vararg:
+                params.add(func.args.vararg.arg)
+            if func.args.kwarg:
+                params.add(func.args.kwarg.arg)
+            body = func.body if isinstance(func.body, list) else [func.body]
+            captured: dict[str, ast.Name] = {}
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in loop_vars
+                        and node.id not in params
+                        and not df.defs(func, node.id)
+                        and node.id not in captured
+                    ):
+                        captured[node.id] = node
+            for name in sorted(captured):
+                yield self.finding(
+                    module,
+                    func,
+                    f"{_func_name(func)} captures loop variable '{name}' by "
+                    "reference; late-firing callbacks all see its final "
+                    f"value — bind it ({name}={name}) instead",
+                )
+
+
+@register
+class StreamAliasing(ProjectRule):
+    """One RNG stream name drawn from multiple scopes.
+
+    ``RngRegistry.stream(name)`` returns *the same* underlying generator
+    for a given name.  Two entities drawing from one stream interleave
+    their draws, so each value depends on which entity ran first — i.e.
+    on the event schedule.  Give each consumer its own stream (suffix
+    the entity id into the name).
+    """
+
+    id = "RS001"
+    severity = "warning"
+    description = "RNG stream drawn from multiple scopes (aliasing)"
+    example_bad = (
+        'class Worker:  # every worker draws from one stream\n'
+        '    def run(self): d = rng.stream("jitter").random()'
+    )
+    example_good = (
+        "class Worker:\n"
+        '    def run(self): d = rng.stream(f"jitter-{self.name}").random()'
+    )
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        sites: dict[str, list[tuple[Module, ast.Call, tuple]]] = {}
+        for module in modules:
+            df = module.dataflow
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "stream"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    scope = df.scope_of(node)
+                    sites.setdefault(node.args[0].value, []).append(
+                        (module, node, (module.path, id(scope)))
+                    )
+        for name, entries in sorted(sites.items()):
+            scopes = {key for _, _, key in entries}
+            if len(scopes) < 2:
+                continue
+            for module, node, _ in entries:
+                yield self.finding(
+                    module,
+                    node,
+                    f"RNG stream '{name}' is drawn from {len(scopes)} "
+                    "scopes; interleaved draws make every value "
+                    "schedule-dependent — give each consumer its own "
+                    "stream name",
+                )
+
+
+@register
+class SetOrderIntoSchedule(Rule):
+    """Set iteration order flowing into event scheduling.
+
+    DT004 flags iterating a set at all; this rule escalates when the
+    loop body *schedules events* (``env.process``/``timeout``/``put``/
+    ``send``/…), because then the hash-seed-dependent visit order
+    becomes the event insertion order and every downstream tiebreak
+    shifts.  The def-use pass also resolves one level of indirection:
+    ``pending = set(...)`` … ``for t in pending:``.
+    """
+
+    id = "RS002"
+    severity = "error"
+    description = "set iteration order feeds event scheduling"
+    example_bad = (
+        "ready = {j.name for j in jobs}\n"
+        "for name in ready: env.process(run(name))"
+    )
+    example_good = "for name in sorted(ready): env.process(run(name))"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        from .determinism_rules import _is_set_expr
+
+        df = module.dataflow
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            it = node.iter
+            set_typed = _is_set_expr(it)
+            via = ""
+            if not set_typed and isinstance(it, ast.Name):
+                defs = df.reaching_defs(it, it.id)
+                if defs and all(_is_set_expr(d) for d in defs):
+                    set_typed = True
+                    via = f" (bound to a set at line {defs[0].lineno})"
+            if not set_typed:
+                continue
+            schedules = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _SCHED_ATTRS
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if schedules:
+                yield self.finding(
+                    module,
+                    it,
+                    f"loop over a set{via} schedules events in its body; "
+                    "hash-seed iteration order becomes event order — "
+                    "iterate sorted(...) instead",
+                )

@@ -347,7 +347,7 @@ def _jobs_1m(quick: bool) -> dict:
     jobs_n = _JOBS_1M_QUICK if quick else _JOBS_1M_FULL
     batch = 2_000
     window = 8_192
-    spill = os.environ.get("JETS_BENCH_SPILL") or None
+    spill = os.environ.get("JETS_BENCH_SPILL") or None  # repro: noqa[DT005]  bench knob, not sim state
     # chrome_out="" suppresses the derived Chrome path a spill target
     # would otherwise trigger: this workload measures the pure pipeline.
     with session(stream=True, window=window, trace_out=spill,

@@ -13,6 +13,7 @@ Usage::
     jets top RUN.jsonl
     jets lint [PATH ...]
     jets lint-trace RUN.jsonl
+    jets sanitize [PATH ...] [--fixture] [--schedules N]
     jets explore [--schedules N] [--seed S]
     jets chaos [--plans N] [--seed S]
     jets bench [--suite kernel|macro|all] [--quick]
@@ -32,7 +33,11 @@ prints the observability run summary; ``jets report`` re-renders that
 summary from a saved JSONL dump.  ``jets lint`` runs the static
 invariant checkers (:mod:`repro.analysis`) over Python sources and
 ``jets lint-trace`` validates a recorded run against the trace schema
-registry and lifecycle state machines.  ``jets explore`` runs bounded
+registry and lifecycle state machines.  ``jets sanitize`` layers the
+race/determinism sanitizer on top: the static HB/RS rules over the
+sources plus a dynamic happens-before pass (vector clocks over the live
+trace) with schedule-permutation confirmation of any race candidate
+(:mod:`repro.analysis.hbmodel`).  ``jets explore`` runs bounded
 schedule exploration: many event-order permutations (with injected
 worker loss) of a small configuration, each re-validated against the
 trace and wire-protocol checkers (:mod:`repro.analysis.explore`).
@@ -246,6 +251,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.explore import explore_main
 
         return explore_main(list(argv[1:]))
+    if argv and argv[0] == "sanitize":
+        from ..analysis.cli import sanitize_main
+
+        return sanitize_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         from .chaos import chaos_main
 

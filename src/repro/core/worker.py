@@ -54,6 +54,11 @@ class WorkerAgent:
         ready_delay: pause between ``register`` and the first ``ready``
             (models slow slot bring-up; lets fault tests target the
             registered-but-not-ready window).
+        worker_id: explicit id; by default ids draw from a process-wide
+            sequence.  Reproducibility harnesses (schedule exploration,
+            the sanitizer's digest comparison) pass explicit ids so a
+            run's trace is a pure function of its configuration, not of
+            how many agents this process created before.
     """
 
     def __init__(
@@ -66,11 +71,14 @@ class WorkerAgent:
         staging: Optional[StagingManager] = None,
         heartbeat_interval: float = 5.0,
         ready_delay: float = 0.0,
+        worker_id: Optional[int] = None,
     ):
         self.platform = platform
         self.env = platform.env
         self.node = node
-        self.worker_id = next(_worker_seq)
+        self.worker_id = (
+            worker_id if worker_id is not None else next(_worker_seq)
+        )
         self.dispatcher_endpoint = dispatcher_endpoint
         self.service = service
         self.slots = slots if slots is not None else node.n_cores

@@ -7,10 +7,15 @@
   format: job attempts, their per-proxy children, and worker busy/idle
   timelines as complete events, openable in https://ui.perfetto.dev or
   ``chrome://tracing``.
+* :class:`CanonicalDigest` — a streaming *outcome* digest that ignores
+  the order of records within one simulated timestamp, so two legal
+  schedules of the same run compare equal exactly when they produced the
+  same observable behaviour (the race-confirmation comparator).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import IO, Iterable, Iterator, Optional, Union
 
@@ -29,7 +34,50 @@ __all__ = [
     "counter_events",
     "counter_series",
     "sanitize",
+    "CanonicalDigest",
 ]
+
+
+class CanonicalDigest:
+    """Streaming outcome digest, insensitive to same-timestamp order.
+
+    A raw byte digest of the trace distinguishes every permutation of a
+    same-time event batch, which is useless for race confirmation: any
+    two explored schedules would look "different".  This digest instead
+    *sorts the encoded record lines within each simulated timestamp*
+    before hashing, while staying order-sensitive across timestamps.
+    Two runs then digest equal iff they logged the same set of records
+    at every instant — i.e. the schedules were observably equivalent —
+    and digest differently exactly when a reordering changed an outcome
+    (a value, a state transition, a record present in one run only).
+
+    Subscribe :meth:`feed` to any :class:`~repro.simkernel.monitor.
+    TraceSink`; memory is bounded by the largest same-timestamp batch.
+    Call :meth:`hexdigest` once, after the run.
+    """
+
+    def __init__(self) -> None:
+        self._sha = hashlib.sha256()
+        self._batch_time: Optional[float] = None
+        self._batch: list[bytes] = []
+        self.records = 0
+
+    def feed(self, rec: TraceRecord) -> None:
+        if rec.time != self._batch_time:
+            self._flush()
+            self._batch_time = rec.time
+        self._batch.append(record_line(rec).encode())
+        self.records += 1
+
+    def _flush(self) -> None:
+        for line in sorted(self._batch):
+            self._sha.update(line)
+        self._batch.clear()
+
+    def hexdigest(self) -> str:
+        """Digest of everything fed so far (flushes the open batch)."""
+        self._flush()
+        return self._sha.hexdigest()
 
 #: trace_event process ids per entity family (offset per run in
 #: multi-run exports so Perfetto shows each run as its own process group).

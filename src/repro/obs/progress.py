@@ -240,7 +240,7 @@ def follow(
     state = LiveRunState()
     # Wall clock is the point of follow mode (reader-side rates and the
     # idle timeout); the simulation side stays clock-free.
-    clock = time.monotonic  # repro: noqa[DT001]
+    clock = time.monotonic  # repro: noqa[DT005]  follow mode measures the wall
     last_records = 0
     last_wall: Optional[float] = None
     try:

@@ -116,9 +116,10 @@ class Event:
         self._ok = True
         self._value = value
         # Inlined Environment._schedule fast path (succeed is the single
-        # hottest scheduling site); the tiebreak branch stays out of line.
+        # hottest scheduling site); the tiebreak and provenance branches
+        # stay out of line (_fast is False whenever either is installed).
         env = self.env
-        if env._order is None:
+        if env._fast:
             env._seq += 1
             heapq.heappush(env._heap, (env._now, NORMAL, env._seq, self))
         else:
@@ -200,7 +201,7 @@ class Timeout(Event):
         self.delay = delay
         # Inlined Environment._schedule fast path (timeouts dominate the
         # heap in transfer-heavy campaigns).
-        if env._order is None:
+        if env._fast:
             env._seq += 1
             heapq.heappush(
                 env._heap, (env._now + delay, NORMAL, env._seq, self)
@@ -455,6 +456,9 @@ class Environment:
         "_heap",
         "_seq",
         "_order",
+        "_fast",
+        "_prov",
+        "_cause",
         "_active_process",
         "_active_generator",
         "events_processed",
@@ -474,6 +478,15 @@ class Environment:
         self._heap: list[tuple] = []
         self._seq = 0
         self._order = order
+        #: Event-provenance hook (``hook(cause, event, when)``) and the
+        #: event whose callbacks are currently being delivered.  Both are
+        #: observation-only: installing a hook never changes event order.
+        self._prov: Optional[Callable] = None
+        self._cause: Optional[Event] = None
+        # The inlined scheduling fast paths (Event.succeed and
+        # Timeout.__init__) are legal only when neither a tiebreak order
+        # nor a provenance hook needs to see the schedule.
+        self._fast = order is None
         self._active_process: Optional[Process] = None
         self._active_generator: Optional[Generator] = None
         #: Events popped and delivered so far (read by ``jets bench``).
@@ -513,6 +526,28 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
 
+    def set_provenance(self, hook: Optional[Callable]) -> None:
+        """Install (or clear, with ``None``) the event-provenance hook.
+
+        ``hook(cause, event, when)`` is invoked for every scheduled
+        event: ``cause`` is the event whose callbacks were being
+        delivered at schedule time (``None`` for events scheduled from
+        outside the delivery loop, e.g. setup code), ``event`` the newly
+        scheduled one, and ``when`` its delivery time.  Together these
+        calls expose the kernel's true causal forest — event B scheduled
+        during the delivery of A cannot happen without A — which the
+        happens-before checker (:mod:`repro.analysis.hbmodel`) folds
+        into vector clocks.
+
+        Observation-only: heap-entry arity and event ordering follow the
+        :class:`SchedulingOrder` exactly as without a hook, so the
+        default FIFO schedule stays byte-identical.  Installing a hook
+        mid-``run()`` takes effect for scheduling immediately but for
+        cause tracking only at the next ``run()``/``step()`` call.
+        """
+        self._prov = hook
+        self._fast = self._order is None and hook is None
+
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
         if self._order is None:
@@ -532,6 +567,8 @@ class Environment:
                     event,
                 ),
             )
+        if self._prov is not None:
+            self._prov(self._cause, event, self._now + delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -545,9 +582,12 @@ class Environment:
         when, event = entry[0], entry[-1]
         self._now = when
         self.events_processed += 1
+        if self._prov is not None:
+            self._cause = event
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
+        self._cause = None
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(
@@ -580,31 +620,41 @@ class Environment:
         # `until`-capped runs process precisely the same prefix.
         heap = self._heap
         heappop = heapq.heappop
-        while heap:
-            # `callbacks is None` is the inlined `processed` property.
-            if stop_event is not None and stop_event.callbacks is None:
-                if not stop_event._ok:
-                    stop_event._defused = True
-                    raise stop_event._value
-                return stop_event._value
-            when = heap[0][0]
-            if when > stop_time:
-                self._now = stop_time
-                return None
-            self._now = when
-            while heap and heap[0][0] == when:
-                event = heappop(heap)[-1]
-                self.events_processed += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    exc = event._value
-                    raise exc if isinstance(
-                        exc, BaseException
-                    ) else SimulationError(repr(exc))
+        # Hoisted: cause tracking is only paid for when a provenance hook
+        # is installed (a hook installed mid-run starts tracking at the
+        # next run() call).
+        track = self._prov is not None
+        try:
+            while heap:
+                # `callbacks is None` is the inlined `processed` property.
                 if stop_event is not None and stop_event.callbacks is None:
-                    break
+                    if not stop_event._ok:
+                        stop_event._defused = True
+                        raise stop_event._value
+                    return stop_event._value
+                when = heap[0][0]
+                if when > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now = when
+                while heap and heap[0][0] == when:
+                    event = heappop(heap)[-1]
+                    self.events_processed += 1
+                    if track:
+                        self._cause = event
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc if isinstance(
+                            exc, BaseException
+                        ) else SimulationError(repr(exc))
+                    if stop_event is not None and stop_event.callbacks is None:
+                        break
+        finally:
+            if track:
+                self._cause = None
 
         if stop_event is not None:
             if stop_event.processed:

@@ -1,0 +1,33 @@
+"""Lint fixture: ambient-state hazards (DT005).
+
+Loaded as text by the analysis tests — never imported.
+"""
+
+import os
+import time
+from os import environ, getenv
+from time import perf_counter
+
+
+def env_seed():
+    a = os.environ.get("JETS_SEED", "0")  # MARK: DT005
+    b = os.environ["JETS_SEED"]  # MARK: DT005-subscript
+    c = os.getenv("JETS_DEBUG")  # MARK: DT005-getenv
+    d = environ.get("HOME")  # MARK: DT005-imported
+    e = getenv("JETS_TRACE")  # MARK: DT005-fromimport
+    return a, b, c, d, e
+
+
+def clock_refs():
+    clock = time.monotonic  # MARK: DT005-bareref
+    timer = perf_counter  # MARK: DT005-barename
+    return clock, timer
+
+
+def suppressed():
+    return os.environ.get("JETS_BENCH_SPILL")  # repro: noqa[DT005]
+
+
+def explicit_ok(seed, clock):
+    # Configuration threaded as arguments: the sanctioned shape.
+    return seed, clock()

@@ -18,6 +18,7 @@ def wall_clock():
     b = monotonic()  # MARK: DT001-imported
     c = datetime.datetime.now()  # MARK: DT001-datetime
     d = dt.utcnow()  # MARK: DT001-aliased
+    time.sleep(0.1)  # MARK: DT001-sleep
     return a, b, c, d
 
 

@@ -1,0 +1,127 @@
+"""Lint fixture: happens-before and RNG-sharing hazards (HB*/RS*).
+
+Loaded as text by the analysis tests — never imported.
+"""
+
+
+def run_one(env, name):
+    yield env.timeout(1.0)
+
+
+class Tally:
+    """Two callback methods read-modify-write one attribute."""
+
+    def __init__(self, env, trace):
+        self.env = env
+        self.trace = trace
+        self.total = 0
+        env.process(self.producer())
+        env.process(self.consumer())
+
+    def producer(self):
+        yield self.env.timeout(1.0)
+        self.total += 1  # MARK: HB001
+
+    def consumer(self):
+        yield self.env.timeout(1.0)
+        self.total += 1
+
+
+class Ordered:
+    """Writes from one callback only: no finding."""
+
+    def __init__(self, env):
+        self.env = env
+        self.value = 0
+        env.process(self.only_writer())
+
+    def only_writer(self):
+        yield self.env.timeout(1.0)
+        self.value = 1
+        self.value += 1
+
+
+def closure_race(env):
+    shared = {}
+
+    def writer_a():
+        yield env.timeout(1.0)
+        shared["x"] = 1  # MARK: HB001-closure
+
+    def writer_b():
+        yield env.timeout(1.0)
+        shared["x"] = 2
+
+    def reader():
+        yield env.timeout(2.0)
+        return shared["x"]
+
+    env.process(writer_a())
+    env.process(writer_b())
+    env.process(reader())
+
+
+def closure_local_ok(env):
+    def worker():
+        local = {}
+        yield env.timeout(1.0)
+        local["x"] = 1  # local dict: not shared
+
+    env.process(worker())
+
+
+def loop_capture(env, jobs, done):
+    for job in jobs:
+        done.callbacks.append(lambda ev: print(job))  # MARK: HB002
+
+
+def loop_capture_def(env, jobs, results):
+    for job in jobs:
+        def finish(ev):  # MARK: HB002-def
+            results.append(job)
+
+        done = env.event()
+        done.callbacks.append(finish)
+
+
+def loop_bound_ok(env, jobs, done):
+    for job in jobs:
+        done.callbacks.append(lambda ev, job=job: print(job))  # bound: fine
+
+
+class WorkerA:
+    def run(self, rng):
+        return rng.stream("jitter").random()  # MARK: RS001
+
+
+class WorkerB:
+    def run(self, rng):
+        return rng.stream("jitter").random()  # MARK: RS001
+
+
+def distinct_stream_ok(rng, name):
+    return rng.stream(f"jitter-{name}").random()  # per-entity: fine
+
+
+def schedule_from_set(env, names):
+    ready = {n for n in names}
+    for name in ready:  # MARK: RS002-resolved
+        env.process(run_one(env, name))
+
+
+def schedule_from_set_literal(env):
+    for name in {"a", "b"}:  # MARK: RS002
+        env.process(run_one(env, name))
+
+
+def schedule_sorted_ok(env, names):
+    ready = set(names)
+    for name in sorted(ready):
+        env.process(run_one(env, name))
+
+
+def iterate_without_schedule_ok(names):
+    seen = []
+    for name in sorted(set(names)):
+        seen.append(name)
+    return seen

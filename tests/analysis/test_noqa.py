@@ -1,0 +1,149 @@
+"""noqa parsing edge cases, NQ001 gating and file-set expansion."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.framework import (
+    iter_python_files,
+    lint_source,
+    rules_for,
+)
+
+DT001_SRC = "import time\nt = time.time(){comment}\n"
+
+
+def lint(source: str, **kw):
+    return lint_source(textwrap.dedent(source), path="noqa_case.py", **kw)
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_everything(self):
+        findings = lint(DT001_SRC.format(comment="  # repro: noqa"))
+        assert findings == []
+
+    def test_rule_list_suppresses_named_rule(self):
+        findings = lint(
+            DT001_SRC.format(comment="  # repro: noqa[DT001]")
+        )
+        assert findings == []
+
+    def test_multi_rule_list(self):
+        # A used entry keeps the whole comment alive: DT002 never fires
+        # here but the DT001 half suppressed a real finding.
+        findings = lint(
+            DT001_SRC.format(comment="  # repro: noqa[DT001, DT002]")
+        )
+        assert findings == []
+
+    def test_case_insensitive(self):
+        findings = lint(
+            DT001_SRC.format(comment="  # REPRO: NOQA[dt001]")
+        )
+        assert findings == []
+
+    def test_wrong_rule_id_suppresses_nothing(self):
+        findings = lint(
+            DT001_SRC.format(comment="  # repro: noqa[TR001]")
+        )
+        # The real finding survives AND the mis-aimed comment is flagged.
+        assert rules_of(findings) == {"DT001", "NQ001"}
+
+    def test_project_rule_consumes_noqa(self):
+        source = (
+            "def worker_a(rng):\n"
+            "    return rng.stream('jitter')  # repro: noqa[RS001]\n"
+            "def worker_b(rng):\n"
+            "    return rng.stream('jitter')\n"
+        )
+        findings = lint(source)
+        # One of the two aliasing sites is suppressed; the comment is
+        # used (no NQ001), the other site still reports.
+        assert [f.rule for f in findings] == ["RS001"]
+        assert findings[0].line == 4
+
+
+class TestUnusedSuppression:
+    def test_unused_noqa_reported(self):
+        findings = lint("x = 1  # repro: noqa[DT001]\n")
+        (f,) = findings
+        assert f.rule == "NQ001"
+        assert "unused suppression" in f.message
+        assert "DT001" in f.message
+
+    def test_unused_bare_noqa_reported(self):
+        (f,) = lint("x = 1  # repro: noqa\n")
+        assert f.rule == "NQ001"
+        assert "bare" in f.message
+
+    def test_nq001_self_exempt(self):
+        assert lint("x = 1  # repro: noqa[NQ001]\n") == []
+
+    def test_gated_off_under_select(self):
+        findings = lint(
+            "x = 1  # repro: noqa[DT001]\n",
+            rules=rules_for(select=["DT001"]),
+        )
+        assert findings == []
+
+    def test_gated_off_under_ignore(self):
+        findings = lint(
+            "x = 1  # repro: noqa[DT001]\n",
+            rules=rules_for(ignore=["TR001"]),
+        )
+        assert findings == []
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = (
+            '"""Suppress findings with ``# repro: noqa[DT001]``."""\n'
+            "x = 1\n"
+        )
+        assert lint(source) == []
+
+    def test_string_literal_is_not_a_suppression(self):
+        # A string containing the syntax neither suppresses the finding
+        # on its own line nor counts as an unused comment.
+        source = (
+            "import time\n"
+            "t = (time.time(), '# repro: noqa')\n"
+        )
+        assert rules_of(lint(source)) == {"DT001"}
+
+
+class TestIterPythonFiles:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        (pkg / "a.py").write_text("a = 1\n")
+        (pkg / "b.py").write_text("b = 2\n")
+        (sub / "c.py").write_text("c = 3\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        return pkg, sub
+
+    def test_directory_expansion_sorted(self, tmp_path):
+        pkg, _ = self._tree(tmp_path)
+        names = [p.name for p in iter_python_files([str(pkg)])]
+        assert names == ["a.py", "b.py", "c.py"]
+
+    def test_overlapping_dir_and_file_deduped(self, tmp_path):
+        pkg, _ = self._tree(tmp_path)
+        paths = list(
+            iter_python_files([str(pkg), str(pkg / "a.py")])
+        )
+        assert len(paths) == 3
+        assert len(set(paths)) == 3
+
+    def test_nested_dir_overlap_deduped(self, tmp_path):
+        pkg, sub = self._tree(tmp_path)
+        paths = list(iter_python_files([str(pkg), str(sub)]))
+        assert [p.name for p in paths] == ["a.py", "b.py", "c.py"]
+
+    def test_same_file_twice_deduped(self, tmp_path):
+        pkg, _ = self._tree(tmp_path)
+        target = str(pkg / "a.py")
+        assert len(list(iter_python_files([target, target]))) == 1

@@ -1,0 +1,205 @@
+"""The HB*/RS* race rules and DT005 against their seeded fixtures."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.framework import Dataflow
+
+from .test_static_rules import lines_for, lint_fixture, mark_lines
+
+
+class TestRaceRules:
+    @pytest.fixture(scope="class")
+    def linted(self):
+        return lint_fixture("race_hazards.py")
+
+    def test_hb001_attribute_writes(self, linted):
+        source, findings = linted
+        expected = set(
+            mark_lines(source, "HB001")
+            + mark_lines(source, "HB001-closure")
+        )
+        assert lines_for(findings, "HB001") == expected
+
+    def test_hb001_names_both_callbacks(self, linted):
+        _, findings = linted
+        messages = [f.message for f in findings if f.rule == "HB001"]
+        attr = [m for m in messages if "'total'" in m]
+        assert attr and "consumer" in attr[0] and "producer" in attr[0]
+
+    def test_hb001_single_writer_clean(self, linted):
+        source, findings = linted
+        start = source.splitlines().index("class Ordered:") + 1
+        hb = lines_for(findings, "HB001")
+        assert not [ln for ln in hb if start < ln <= start + 12]
+
+    def test_hb002_loop_captures(self, linted):
+        source, findings = linted
+        expected = set(
+            mark_lines(source, "HB002") + mark_lines(source, "HB002-def")
+        )
+        assert lines_for(findings, "HB002") == expected
+
+    def test_hb002_bound_default_clean(self, linted):
+        source, findings = linted
+        bound = [
+            i for i, line in enumerate(source.splitlines(), 1)
+            if "job=job" in line
+        ]
+        assert bound and not [
+            f for f in findings if f.rule == "HB002" and f.line in bound
+        ]
+
+    def test_rs001_stream_aliasing(self, linted):
+        source, findings = linted
+        assert lines_for(findings, "RS001") == set(
+            mark_lines(source, "RS001")
+        )
+
+    def test_rs001_fstring_stream_clean(self, linted):
+        source, findings = linted
+        distinct = [
+            i for i, line in enumerate(source.splitlines(), 1)
+            if "jitter-{name}" in line
+        ]
+        assert distinct and not [
+            f for f in findings if f.rule == "RS001" and f.line in distinct
+        ]
+
+    def test_rs002_set_into_schedule(self, linted):
+        source, findings = linted
+        expected = set(
+            mark_lines(source, "RS002")
+            + mark_lines(source, "RS002-resolved")
+        )
+        assert lines_for(findings, "RS002") == expected
+
+    def test_rs002_sorted_and_unscheduled_clean(self, linted):
+        source, findings = linted
+        lines = source.splitlines()
+        ok_start = lines.index("def schedule_sorted_ok(env, names):") + 1
+        assert not [
+            f for f in findings
+            if f.rule == "RS002" and f.line > ok_start
+        ]
+
+    def test_rs002_mentions_binding_site(self, linted):
+        source, findings = linted
+        (resolved_line,) = mark_lines(source, "RS002-resolved")
+        (f,) = [
+            f for f in findings
+            if f.rule == "RS002" and f.line == resolved_line
+        ]
+        assert "bound to a set at line" in f.message
+
+
+class TestAmbientState:
+    @pytest.fixture(scope="class")
+    def linted(self):
+        return lint_fixture("ambient_state.py")
+
+    def test_dt005_environ_reads(self, linted):
+        source, findings = linted
+        expected = set(
+            mark_lines(source, "DT005")
+            + mark_lines(source, "DT005-subscript")
+            + mark_lines(source, "DT005-getenv")
+            + mark_lines(source, "DT005-imported")
+            + mark_lines(source, "DT005-fromimport")
+            + mark_lines(source, "DT005-bareref")
+            + mark_lines(source, "DT005-barename")
+        )
+        assert lines_for(findings, "DT005") == expected
+
+    def test_dt005_is_warning(self, linted):
+        _, findings = linted
+        dt005 = [f for f in findings if f.rule == "DT005"]
+        assert dt005 and all(f.severity == "warning" for f in dt005)
+
+    def test_noqa_suppresses_dt005(self, linted):
+        source, findings = linted
+        noqa = [
+            i for i, line in enumerate(source.splitlines(), 1)
+            if "noqa[DT005]" in line
+        ]
+        assert noqa and not [f for f in findings if f.line in noqa]
+
+    def test_explicit_argument_shape_clean(self, linted):
+        source, findings = linted
+        start = source.splitlines().index(
+            "def explicit_ok(seed, clock):"
+        ) + 1
+        assert not [f for f in findings if f.line > start]
+
+
+def test_dt001_flags_sleep():
+    source, findings = lint_fixture("nondeterminism.py")
+    sleep_lines = set(mark_lines(source, "DT001-sleep"))
+    assert sleep_lines and sleep_lines <= lines_for(findings, "DT001")
+
+
+class TestDataflow:
+    def test_callback_detection_process_and_registrations(self):
+        tree = ast.parse(
+            "def gen(env):\n"
+            "    yield env.timeout(1)\n"
+            "def plain():\n"
+            "    pass\n"
+            "def on_record(rec):\n"
+            "    pass\n"
+            "def handler(ev):\n"
+            "    pass\n"
+            "def main(env, trace, done):\n"
+            "    env.process(gen(env))\n"
+            "    trace.subscribe(on_record)\n"
+            "    done.callbacks.append(handler)\n"
+        )
+        df = Dataflow(tree)
+        names = {getattr(n, "name", "?") for n in df.callbacks}
+        assert names == {"gen", "on_record", "handler"}
+
+    def test_self_method_callback_resolution(self):
+        tree = ast.parse(
+            "class Agent:\n"
+            "    def start(self, env):\n"
+            "        env.process(self.run())\n"
+            "    def run(self):\n"
+            "        yield 1\n"
+            "    def helper(self):\n"
+            "        pass\n"
+        )
+        df = Dataflow(tree)
+        names = {getattr(n, "name", "?") for n in df.callbacks}
+        assert names == {"run"}
+
+    def test_def_use_chains(self):
+        tree = ast.parse(
+            "x = 1\n"
+            "def f():\n"
+            "    y = x + 1\n"
+            "    return y\n"
+        )
+        df = Dataflow(tree)
+        func = tree.body[1]
+        assert df.defs(tree, "x") and not df.defs(func, "x")
+        assert df.defs(func, "y")
+        use = df.uses(func, "x")
+        assert use and df.reaching_defs(use[0], "x") == df.defs(tree, "x")
+
+    def test_scope_and_class_resolution(self):
+        tree = ast.parse(
+            "class C:\n"
+            "    def m(self):\n"
+            "        z = 1\n"
+            "        return z\n"
+        )
+        df = Dataflow(tree)
+        cls = tree.body[0]
+        method = cls.body[0]
+        assign = method.body[0]
+        assert df.scope_of(assign) is method
+        assert df.class_of(assign) is cls
+        assert df.class_of(tree) is None

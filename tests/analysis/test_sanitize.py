@@ -1,0 +1,146 @@
+"""The jets sanitize / jets lint CLI surfaces (exit codes and formats)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import lint_main, rule_catalog, sanitize_main
+from repro.analysis.framework import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIRTY = str(FIXTURES / "nondeterminism.py")
+
+
+class TestSanitizeFixture:
+    def test_self_test_passes(self, capsys):
+        assert sanitize_main(["--fixture", "--schedules", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate:" in out
+        assert "outcome-changing" in out
+        assert "fixture ok" in out
+
+
+class TestSanitizeStatic:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        rc = sanitize_main([str(tmp_path), "--static-only"])
+        assert rc == 0
+        assert "jets sanitize: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        rc = sanitize_main([DIRTY, "--static-only"])
+        assert rc == 1
+        assert "static layer" in capsys.readouterr().out
+
+    def test_mutually_exclusive_layers_exit_two(self, capsys):
+        rc = sanitize_main(["--static-only", "--dynamic-only"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestSanitizeDynamic:
+    def test_control_plane_clean(self, capsys):
+        rc = sanitize_main(["--dynamic-only", "--schedules", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dynamic layer — 1 schedules, 0 race candidate(s)" in out
+        assert "jets sanitize: clean" in out
+
+
+class TestLintJson:
+    def test_document_shape_and_exit(self, capsys):
+        rc = lint_main([DIRTY, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["files"] == 1
+        assert doc["errors"] == []
+        assert doc["findings"]
+        keys = {"path", "line", "col", "rule", "severity", "message"}
+        assert all(set(f) == keys for f in doc["findings"])
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        rc = lint_main([str(clean), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["findings"] == []
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        rc = lint_main([str(bad), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 2
+        assert doc["errors"] and "syntax error" in doc["errors"][0]
+
+
+class TestLintSelectIgnore:
+    def test_select_restricts_rules(self, capsys):
+        lint_main([DIRTY, "--select", "DT001", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in doc["findings"]} == {"DT001"}
+
+    def test_ignore_drops_rule(self, capsys):
+        lint_main([DIRTY, "--ignore", "DT001", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        found = {f["rule"] for f in doc["findings"]}
+        assert found and "DT001" not in found
+
+    def test_select_and_ignore_compose(self, capsys):
+        lint_main(
+            [DIRTY, "--select", "DT001,DT002", "--ignore", "DT002",
+             "--format", "json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in doc["findings"]} <= {"DT001"}
+
+    def test_unknown_select_exits_two(self, capsys):
+        rc = lint_main([DIRTY, "--select", "ZZ999"])
+        assert rc == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+    def test_unknown_ignore_exits_two(self, capsys):
+        rc = lint_main([DIRTY, "--ignore", "ZZ999"])
+        assert rc == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+
+class TestExplainAndCatalog:
+    def test_explain_known_rule(self, capsys):
+        assert lint_main(["--explain", "dt001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("DT001 [")
+        assert "flagged:" in out and "fixed:" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert lint_main(["--explain", "ZZ999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_catalog_lists_every_rule(self, capsys):
+        assert lint_main(["--catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "| Rule | Severity | Checks |" in out
+        for cls in all_rules():
+            assert f"| {cls.id} |" in out
+
+    def test_catalog_table_shape(self):
+        lines = rule_catalog().splitlines()
+        assert len(lines) == 2 + len(all_rules())
+        assert all(line.startswith("| ") for line in lines)
+
+    def test_readme_catalog_in_sync(self):
+        readme = (
+            Path(__file__).resolve().parents[2] / "README.md"
+        ).read_text()
+        start = readme.index("<!-- rule-catalog:start -->")
+        end = readme.index("<!-- rule-catalog:end -->")
+        embedded = readme[start:end].split("-->", 1)[1].strip()
+        assert embedded == rule_catalog(), (
+            "README rule catalog is stale — regenerate with "
+            "`jets lint --catalog`"
+        )
