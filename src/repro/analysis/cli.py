@@ -4,10 +4,13 @@ Usage::
 
     jets lint [PATH ...] [--select RULES] [--ignore RULES]
               [--min-severity LEVEL] [--format text|json]
+              [--hot-profile BENCH_profile.json]
               [--list-rules] [--explain RULE] [--catalog]
     jets lint-trace RUN.jsonl [--run N] [--no-schema] [--no-lifecycle]
     jets sanitize [PATH ...] [--static-only | --dynamic-only | --fixture]
                   [--schedules N] [--seed S] [--strict]
+    jets hotpath [FUNC] [--path P] [--hot-profile BENCH_profile.json]
+                 [--format text|json]
 
 ``jets lint`` runs the static rule sets over Python sources (default:
 ``src`` if present, else the current directory) and exits non-zero when
@@ -17,6 +20,15 @@ machine-readable document (path/line/col/rule/severity/message per
 finding) for CI annotation.  ``jets lint-trace`` validates a recorded
 JSONL run against the trace schema registry and the lifecycle state
 machines.
+
+``jets hotpath`` builds the project call graph (see
+:mod:`.callgraph`) and dumps the computed hot set — every function
+reachable from the declared kernel entry points, optionally unioned
+with a measured ``jets bench --profile`` profile.  With a FUNC
+argument it instead *explains* reachability: the shortest
+entry→function call chain, or "not on the hot path".  The same
+``--hot-profile`` file escalates the PF perf rules from warning to
+error during ``jets lint``.
 
 ``jets sanitize`` is the two-layer race/determinism sanitizer: the
 static happens-before and RNG-sharing rules (HB*/RS*, alongside the
@@ -47,9 +59,11 @@ __all__ = [
     "build_lint_parser",
     "build_lint_trace_parser",
     "build_sanitize_parser",
+    "build_hotpath_parser",
     "lint_main",
     "lint_trace_main",
     "sanitize_main",
+    "hotpath_main",
     "rule_catalog",
 ]
 
@@ -81,6 +95,11 @@ def build_lint_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text); json emits one document "
         "with files/findings/errors for CI annotation",
+    )
+    parser.add_argument(
+        "--hot-profile", default=None, metavar="FILE",
+        help="BENCH_profile.json from `jets bench --profile`; profiled "
+        "functions join the hot set the PF rules escalate on",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -182,11 +201,25 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     ignore = (
         [s for s in args.ignore.split(",") if s] if args.ignore else None
     )
+    profile_ids = None
+    if args.hot_profile:
+        from .callgraph import load_profile
+
+        try:
+            profile_ids, _ = load_profile(args.hot_profile)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"jets lint: bad --hot-profile: {exc}", file=sys.stderr)
+            return 2
+    from .perf_rules import set_hot_profile
+
+    set_hot_profile(profile_ids)
     try:
         result = lint_paths(paths, select=select, ignore=ignore)
     except ValueError as exc:
         print(f"jets lint: {exc}", file=sys.stderr)
         return 2
+    finally:
+        set_hot_profile(None)
     threshold = SEVERITIES.index(args.min_severity)
     failing = [
         f for f in result.findings
@@ -204,6 +237,7 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
                         "rule": f.rule,
                         "severity": f.severity,
                         "message": f.message,
+                        "hot_path": f.hot,
                     }
                     for f in result.findings
                 ],
@@ -484,3 +518,157 @@ def sanitize_main(argv: Optional[Sequence[str]] = None) -> int:
     if worst == 0:
         print("jets sanitize: clean")
     return worst
+
+
+def build_hotpath_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jets hotpath",
+        description="Dump the statically computed hot set (functions "
+        "reachable from the kernel entry points), or explain how one "
+        "function is reached from an entry.",
+    )
+    parser.add_argument(
+        "func", nargs="?", default=None, metavar="FUNC",
+        help="function to explain: a graph id (module:qualname), a "
+        "Class.method qualname, or a bare name (default: dump the "
+        "whole hot set)",
+    )
+    parser.add_argument(
+        "--path", action="append", default=None, metavar="PATH",
+        help="source files/directories to analyze (repeatable; "
+        "default: ./src or .)",
+    )
+    parser.add_argument(
+        "--hot-profile", default=None, metavar="FILE",
+        help="BENCH_profile.json whose functions join the hot set",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def _collect_modules(paths: Sequence[str]) -> tuple[list, list[str]]:
+    """Parse every .py under ``paths`` into framework Modules."""
+    import ast as _ast
+
+    from .framework import Module, iter_python_files
+
+    modules, errors = [], []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text()
+            tree = _ast.parse(source, filename=str(path))
+        except OSError as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc}")
+            continue
+        modules.append(Module(str(path), source, tree))
+    return modules, errors
+
+
+def _render_chain(chain, graph) -> list[str]:
+    """One indented line per hop of a root→target chain."""
+    lines = []
+    for depth, (fid, kind) in enumerate(chain):
+        info = graph.functions.get(fid)
+        where = f"  ({info.path}:{info.lineno})" if info else ""
+        if depth == 0:
+            lines.append(f"{fid}  [{kind}]{where}")
+        else:
+            pad = "  " * depth
+            lines.append(f"{pad}└─ {kind} → {fid}{where}")
+    return lines
+
+
+def hotpath_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``jets hotpath`` entry point; returns the exit code.
+
+    Without FUNC: exit 0 after dumping the hot set.  With FUNC:
+    exit 0 if every match is on the hot path, 1 if any resolved match
+    is cold, 2 if the name does not resolve (or sources fail to parse).
+    """
+    args = build_hotpath_parser().parse_args(argv)
+    from .callgraph import CallGraph, load_profile
+
+    paths = list(args.path) if args.path else (
+        ["src"] if os.path.isdir("src") else ["."]
+    )
+    profile_ids: Optional[set] = None
+    if args.hot_profile:
+        try:
+            profile_ids, _ = load_profile(args.hot_profile)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"jets hotpath: bad --hot-profile: {exc}",
+                  file=sys.stderr)
+            return 2
+    modules, errors = _collect_modules(paths)
+    for error in errors:
+        print(f"jets hotpath: {error}", file=sys.stderr)
+    if not modules:
+        print("jets hotpath: no Python sources found", file=sys.stderr)
+        return 2
+    graph = CallGraph.build(modules)
+    hot = graph.hot_set(profile_ids)
+
+    if args.func is None:
+        ordered = sorted(hot)
+        if args.format == "json":
+            print(json.dumps(
+                {
+                    "entries": list(graph.entries),
+                    "profile": sorted(profile_ids) if profile_ids else [],
+                    "roots": dict(sorted(graph.roots.items())),
+                    "hot": ordered,
+                    "functions": len(graph.functions),
+                },
+                indent=2,
+            ))
+            return 0
+        for fid in ordered:
+            why = graph.roots.get(fid)
+            print(f"{fid}" + (f"  [{why}]" if why else ""))
+        print(
+            f"jets hotpath: {len(ordered)} of {len(graph.functions)} "
+            f"functions on the hot path "
+            f"({len(graph.roots)} entry roots"
+            + (f", profile ∪ {len(profile_ids)} ids" if profile_ids else "")
+            + ")"
+        )
+        return 0
+
+    matches = graph.resolve(args.func)
+    if not matches:
+        print(
+            f"jets hotpath: no function matches {args.func!r} "
+            f"(try module:Class.method, Class.method, or a bare name)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "json":
+        doc = []
+        for fid in matches:
+            chain = graph.chain(fid, profile_ids)
+            doc.append({
+                "id": fid,
+                "hot": fid in hot,
+                "chain": [
+                    {"id": cid, "via": kind} for cid, kind in chain
+                ] if chain else None,
+            })
+        print(json.dumps({"query": args.func, "matches": doc}, indent=2))
+        return 0 if all(m["hot"] for m in doc) else 1
+    cold = 0
+    for fid in matches:
+        chain = graph.chain(fid, profile_ids)
+        if chain is None:
+            cold += 1
+            print(f"{fid}: NOT on the hot path (no entry reaches it)")
+            continue
+        print(f"{fid}: HOT — reached via:")
+        for line in _render_chain(chain, graph):
+            print(f"  {line}")
+    return 1 if cold else 0

@@ -61,7 +61,7 @@ def _iter_comments(
                 yield lineno, col, line[col:]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Finding:
     """One rule violation, anchored to a source position."""
 
@@ -71,6 +71,9 @@ class Finding:
     rule: str
     severity: Severity
     message: str
+    #: Whether the finding sits in a hot-set function (perf rules);
+    #: surfaced as ``hot_path`` in ``--format json``.
+    hot: bool = False
 
     def render(self) -> str:
         return (
@@ -386,6 +389,7 @@ def all_rules() -> list[Type[Rule]]:
     """Every registered rule class (imports the built-in rule sets)."""
     from . import (  # noqa: F401
         determinism_rules,
+        perf_rules,
         protocol_rules,
         race_rules,
         simkernel_rules,
@@ -542,17 +546,18 @@ def lint_paths(
     module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     result = LintResult()
+    record_error = result.errors.append
     modules: list[Module] = []
     for path in iter_python_files(paths):
         try:
             source = path.read_text()
         except OSError as exc:
-            result.errors.append(f"{path}: {exc}")
+            record_error(f"{path}: {exc}")
             continue
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            result.errors.append(f"{path}: syntax error: {exc}")
+            record_error(f"{path}: syntax error: {exc}")
             continue
         module = Module(str(path), source, tree)
         modules.append(module)

@@ -97,7 +97,7 @@ def _kind_refs(node: ast.AST) -> Optional[list[KindRef]]:
     return None
 
 
-@dataclass
+@dataclass(slots=True)
 class SendSite:
     """One ``sock.send((kind, ...), nbytes)`` call."""
 

@@ -252,20 +252,21 @@ class LoopVariableCapture(Rule):
 
     def check(self, module: Module) -> Iterator[Finding]:
         df = module.dataflow
+        parent_of = df.parent.get
         for func in ast.walk(module.tree):
             if not isinstance(func, _FUNC_NODES):
                 continue
             # Loop targets between this function and its enclosing scope.
             loop_vars: set[str] = set()
-            cur = df.parent.get(func)
+            cur = parent_of(func)
             while cur is not None and not isinstance(cur, _SCOPE_NODES):
                 if isinstance(cur, (ast.For, ast.AsyncFor)):
                     loop_vars |= _target_names(cur.target)
-                cur = df.parent.get(cur)
+                cur = parent_of(cur)
             if not loop_vars:
                 continue
             # An immediately-invoked function consumes the current value.
-            parent = df.parent.get(func)
+            parent = parent_of(func)
             if isinstance(parent, ast.Call) and parent.func is func:
                 continue
             params = {

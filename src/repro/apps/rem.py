@@ -77,7 +77,7 @@ class TemperatureLadder:
         return iter(self.temperatures)
 
 
-@dataclass
+@dataclass(slots=True)
 class ExchangeRecord:
     """Outcome of one exchange attempt between neighbour replicas."""
 

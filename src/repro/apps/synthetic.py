@@ -118,20 +118,22 @@ class PingPongProgram(MpiProgram):
             return None
         results: list[tuple[int, float]] = []
         peer = 1 - ctx.rank
+        env = ctx.env
+        send, recv = ctx.comm.send, ctx.comm.recv
         for nbytes in self.sizes:
             if ctx.size == 2:
                 yield from ctx.comm.barrier(ctx.rank)
-            t0 = ctx.env.now
+            t0 = env.now
             for r in range(self.reps):
                 tag = ("pp", nbytes, r)
                 if ctx.rank == 0:
-                    yield from ctx.comm.send(0, peer, None, nbytes, tag)
-                    yield from ctx.comm.recv(0, source=peer, tag=tag)
+                    yield from send(0, peer, None, nbytes, tag)
+                    yield from recv(0, source=peer, tag=tag)
                 else:
-                    yield from ctx.comm.recv(1, source=peer, tag=tag)
-                    yield from ctx.comm.send(1, peer, None, nbytes, tag)
+                    yield from recv(1, source=peer, tag=tag)
+                    yield from send(1, peer, None, nbytes, tag)
             if ctx.rank == 0:
-                elapsed = ctx.env.now - t0
+                elapsed = env.now - t0
                 results.append((nbytes, elapsed / (2 * self.reps)))
         return results if ctx.rank == 0 else None
 

@@ -23,7 +23,9 @@ from .harness import (
     BenchResult,
     compare_runs,
     load_baseline,
+    profile_suite,
     run_suite,
+    write_profile,
     write_suite,
 )
 from .workloads import SUITES
@@ -91,6 +93,22 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "(repeatable); keeps process-wide peak RSS attributable",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the timed pass, run each workload once more under "
+        "cProfile and write BENCH_profile.json (top-N project "
+        "functions by cumulative time; feeds `jets lint "
+        "--hot-profile`). Profiled numbers never enter the timed "
+        "results, so baselines stay comparable",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="functions kept per workload in the profile (default: 25)",
+    )
+    parser.add_argument(
         "--rss-budget-mb",
         type=float,
         default=None,
@@ -134,6 +152,7 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     exit_code = 0
+    profiled: dict[str, list[dict]] = {}
     for suite in suites:
         print(f"suite {suite}{' (quick)' if args.quick else ''}:")
         try:
@@ -184,6 +203,21 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
                         file=sys.stderr,
                     )
                     exit_code = 1
+        if args.profile:
+            print(f"  profiling {suite}...")
+            profiled.update(profile_suite(
+                suite,
+                quick=args.quick,
+                top=max(1, args.profile_top),
+                only=args.only,
+            ))
+    if args.profile:
+        profile_path = os.path.join(args.out_dir, "BENCH_profile.json")
+        write_profile(
+            profiled, profile_path,
+            quick=args.quick, top=max(1, args.profile_top),
+        )
+        print(f"wrote {profile_path} ({len(profiled)} workloads)")
     return exit_code
 
 

@@ -58,6 +58,9 @@ __all__ = [
     "write_suite",
     "load_baseline",
     "compare_runs",
+    "profile_workload",
+    "profile_suite",
+    "write_profile",
 ]
 
 #: JSON schema version of the BENCH files.
@@ -286,14 +289,15 @@ def compare_runs(
     against a full baseline) are skipped, not compared.
     """
     cmp = Comparison(threshold_pct=threshold_pct)
+    skipped, regressions = cmp.skipped, cmp.regressions
     base_results = baseline.get("results", {})
     for result in run.results:
         base = base_results.get(result.name)
         if base is None:
-            cmp.skipped.append(f"{result.name}: not in baseline")
+            skipped.append(f"{result.name}: not in baseline")
             continue
         if base.get("meta") and result.meta and base["meta"] != result.meta:
-            cmp.skipped.append(
+            skipped.append(
                 f"{result.name}: parameters differ from baseline"
             )
             continue
@@ -302,16 +306,150 @@ def compare_runs(
             speedup = old_wall / result.wall_s if result.wall_s > 0 else 0.0
             cmp.walls[result.name] = (old_wall, result.wall_s, speedup)
             if result.wall_s > old_wall * (1.0 + threshold_pct / 100.0):
-                cmp.regressions.append(
+                regressions.append(
                     f"{result.name}: wall {result.wall_s:.3f}s vs baseline "
                     f"{old_wall:.3f}s (> {threshold_pct:.0f}% slower)"
                 )
         old_events = base.get("events")
         if old_events and result.events:
             if result.events > old_events * EVENT_GROWTH_TOLERANCE:
-                cmp.regressions.append(
+                regressions.append(
                     f"{result.name}: kernel events {result.events} vs "
                     f"baseline {old_events} (deterministic count grew "
                     f"> {(EVENT_GROWTH_TOLERANCE - 1) * 100:.0f}%)"
                 )
     return cmp
+
+
+# -- profiling pass (jets bench --profile) --------------------------------
+#
+# Run *after* (and separately from) the timed pass: cProfile's tracing
+# overhead would contaminate wall times, so profiled numbers never enter
+# BENCH_<suite>.json and baselines stay comparable.  The output feeds
+# ``jets lint --hot-profile`` / ``jets hotpath --hot-profile``: the
+# top-N cumulative-time functions join the statically computed hot set.
+
+#: Per-file lineno -> qualname tables, parsed lazily from source.
+_QUALNAME_CACHE: dict[str, dict[int, str]] = {}
+
+
+def _qualnames_for(path: str) -> dict[int, str]:
+    """Map function-def line numbers to dotted qualnames for one file.
+
+    cProfile keys stats by ``(filename, lineno, co_name)``; ``co_name``
+    is the bare name, so ``step`` could be anything.  Re-parsing the
+    source recovers the stable ``Class.method`` qualname at that line.
+    """
+    import ast
+
+    cached = _QUALNAME_CACHE.get(path)
+    if cached is not None:
+        return cached
+    table: dict[int, str] = {}
+    try:
+        with open(path) as fh:
+            tree = ast.parse(fh.read(), filename=path)
+    except (OSError, SyntaxError):
+        _QUALNAME_CACHE[path] = table
+        return table
+
+    def visit(node, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                table[child.lineno] = prefix + child.name
+                visit(child, prefix + child.name + ".")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, prefix + child.name + ".")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    _QUALNAME_CACHE[path] = table
+    return table
+
+
+def function_id(filename: str, lineno: int, funcname: str) -> str:
+    """Stable ``module:qualname`` id for one profiled frame."""
+    from ..analysis.callgraph import module_name_for
+
+    qual = _qualnames_for(filename).get(lineno, funcname)
+    return f"{module_name_for(filename)}:{qual}"
+
+
+def profile_workload(
+    workload: Workload, quick: bool = False, top: int = 25
+) -> list[dict]:
+    """cProfile one workload; the top-N project frames by cumtime.
+
+    Frames outside the ``repro`` package (stdlib, site-packages) are
+    dropped: the hot-profile consumer only escalates lint severity on
+    project functions, and filtering here keeps the JSON small and the
+    ids resolvable against the call graph.
+    """
+    import cProfile
+    import os
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        workload.fn(quick)
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof).stats  # type: ignore[attr-defined]
+    marker = f"{os.sep}repro{os.sep}"
+    entries: list[dict] = []
+    for (filename, lineno, funcname), row in stats.items():
+        if marker not in filename:
+            continue
+        _cc, ncalls, tottime, cumtime, _callers = row
+        entries.append({
+            "id": function_id(filename, lineno, funcname),
+            "ncalls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    entries.sort(key=lambda e: (-e["cumtime"], e["id"]))
+    return entries[:top]
+
+
+def profile_suite(
+    suite: str,
+    quick: bool = False,
+    top: int = 25,
+    only: Optional[list[str]] = None,
+    progress=None,
+) -> dict[str, list[dict]]:
+    """Profile every workload of a suite; workload name -> top frames."""
+    workloads = SUITES.get(suite)
+    if workloads is None:
+        raise KeyError(f"unknown bench suite {suite!r}")
+    if only:
+        workloads = [wl for wl in workloads if wl.name in set(only)]
+    out: dict[str, list[dict]] = {}
+    for wl in workloads:
+        out[wl.name] = profile_workload(wl, quick=quick, top=top)
+        if progress is not None:
+            progress(wl.name, out[wl.name])
+    return out
+
+
+def write_profile(
+    workloads: dict[str, list[dict]],
+    path: str,
+    quick: bool = False,
+    top: int = 25,
+) -> dict:
+    """Write ``BENCH_profile.json`` in the layout ``load_profile`` reads."""
+    doc = {
+        "schema": SCHEMA,
+        "kind": "profile",
+        "quick": quick,
+        "top": top,
+        "python": sys.version.split()[0],
+        "workloads": workloads,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc

@@ -27,7 +27,7 @@ from .tasklist import JobSpec
 __all__ = ["WorkerView", "Aggregator"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkerView:
     """The dispatcher's view of one pilot worker."""
 

@@ -141,10 +141,9 @@ class FaultPlan:
 
     def kinds(self) -> tuple[str, ...]:
         """Distinct fault kinds this plan exercises, in clause order."""
-        seen: list[str] = []
+        seen: dict[str, None] = {}  # insertion-ordered dedup
         for clause in self.clauses:
-            if clause.kind not in seen:
-                seen.append(clause.kind)
+            seen.setdefault(clause.kind)
         return tuple(seen)
 
 
@@ -218,12 +217,13 @@ class ChaosEngine:
         extra = 0.0
         channel = None
         channel_known = False
+        node_of = self._endpoint_node.get
         for effect in self._effects:
             kind = effect["kind"]
             if kind == "partition":
                 if (
-                    self._endpoint_node.get(src) in effect["nodes"]
-                    or self._endpoint_node.get(dst) in effect["nodes"]
+                    node_of(src) in effect["nodes"]
+                    or node_of(dst) in effect["nodes"]
                 ):
                     return ("drop",)
                 continue

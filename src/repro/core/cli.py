@@ -14,6 +14,7 @@ Usage::
     jets lint [PATH ...]
     jets lint-trace RUN.jsonl
     jets sanitize [PATH ...] [--fixture] [--schedules N]
+    jets hotpath [FUNC] [--hot-profile BENCH_profile.json]
     jets explore [--schedules N] [--seed S]
     jets chaos [--plans N] [--seed S]
     jets bench [--suite kernel|macro|all] [--quick]
@@ -37,7 +38,11 @@ registry and lifecycle state machines.  ``jets sanitize`` layers the
 race/determinism sanitizer on top: the static HB/RS rules over the
 sources plus a dynamic happens-before pass (vector clocks over the live
 trace) with schedule-permutation confirmation of any race candidate
-(:mod:`repro.analysis.hbmodel`).  ``jets explore`` runs bounded
+(:mod:`repro.analysis.hbmodel`).  ``jets hotpath`` dumps the statically
+computed hot set (every function reachable from the kernel entry
+points, optionally unioned with a ``jets bench --profile`` profile) or
+explains one function's shortest entry→function call chain
+(:mod:`repro.analysis.callgraph`).  ``jets explore`` runs bounded
 schedule exploration: many event-order permutations (with injected
 worker loss) of a small configuration, each re-validated against the
 trace and wire-protocol checkers (:mod:`repro.analysis.explore`).
@@ -255,6 +260,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.cli import sanitize_main
 
         return sanitize_main(list(argv[1:]))
+    if argv and argv[0] == "hotpath":
+        from ..analysis.cli import hotpath_main
+
+        return hotpath_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         from .chaos import chaos_main
 

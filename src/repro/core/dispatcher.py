@@ -295,20 +295,22 @@ class JetsDispatcher:
             self.platform.trace.log(
                 "worker.registered", {"worker": worker_id, "node": node_id}
             )
+            env = self.env
+            log = self.platform.trace.log
             while True:
                 msg = yield sock.recv()
                 yield from self._service()
                 payload = msg.payload
                 kind = payload[0]
-                view.last_seen = self.env.now
+                view.last_seen = env.now
                 if kind in (wire.READY, wire.READY_ALL):
-                    view.last_credit = self.env.now
+                    view.last_credit = env.now
                     self.aggregator.mark_ready(
                         view.worker_id,
-                        self.env.now,
+                        env.now,
                         all_slots=(kind == wire.READY_ALL),
                     )
-                    self.platform.trace.log(
+                    log(
                         "worker.ready", {"worker": view.worker_id}
                     )
                     self._wakeup()
@@ -316,13 +318,13 @@ class JetsDispatcher:
                     pass
                 elif kind == wire.DONE:
                     _, worker_id, job_id, status, value = payload
-                    view.last_credit = self.env.now
+                    view.last_credit = env.now
                     self._on_worker_done(view, job_id, status, value)
                 else:
                     # A protocol violation must not kill the event loop
                     # (every other worker would go down with it): record
                     # it, tear down just this worker, keep serving.
-                    self.platform.trace.log(
+                    log(
                         "protocol.error",
                         {
                             "channel": wire.CHANNEL_JETS,
@@ -346,12 +348,13 @@ class JetsDispatcher:
         interval = self.config.heartbeat_interval
         deadline = interval * self.config.heartbeat_misses
         rec = self.config.recovery
+        log = self.platform.trace.log
         while True:
             yield self.env.timeout(interval)
             now = self.env.now
             for view in self.aggregator.workers():
                 if view.alive and now - view.last_seen > deadline:
-                    self.platform.trace.log(
+                    log(
                         "worker.heartbeat_missed",
                         {
                             "worker": view.worker_id,
@@ -372,7 +375,7 @@ class JetsDispatcher:
                     # has come back for a while: a ``ready`` was lost in
                     # transit.  Recycle the worker — its pilot reconnects
                     # (or the keeper respawns it) with a clean slate.
-                    self.platform.trace.log(
+                    log(
                         "recover.reconcile", {"worker": view.worker_id}
                     )
                     self._worker_lost(
@@ -454,20 +457,21 @@ class JetsDispatcher:
             self._wake.succeed()
 
     def _scheduler_loop(self) -> Generator:
+        env = self.env
         while True:
             if not self._wake.triggered:
                 yield self._wake
-            self._wake = self.env.event()
+            self._wake = env.event()
             while True:
                 job = self.policy.select(self.aggregator.can_place)
                 if job is None:
                     break
                 yield from self._service()
                 views = self.aggregator.place(job)
-                self._dispatch_times.setdefault(job.job_id, self.env.now)
+                self._dispatch_times.setdefault(job.job_id, env.now)
                 queued_at = self._queued_times.pop(job.job_id, None)
                 if queued_at is not None:
-                    self._queue_wait.observe(self.env.now - queued_at)
+                    self._queue_wait.observe(env.now - queued_at)
                 self.platform.trace.log(
                     "job.grouped",
                     {
@@ -477,11 +481,11 @@ class JetsDispatcher:
                     },
                 )
                 if job.mpi:
-                    self.env.process(
+                    env.process(
                         self._run_mpi_job(job, views), name=f"jets-{job.job_id}"
                     )
                 else:
-                    self.env.process(
+                    env.process(
                         self._run_serial_job(job, views[0]),
                         name=f"jets-{job.job_id}",
                     )

@@ -69,7 +69,7 @@ class FaultSpec:
     jitter: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JetsConfig:
     """End-to-end configuration of a stand-alone JETS run.
 

@@ -31,7 +31,7 @@ class TaskListError(ValueError):
 _spec_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class JobSpec:
     """One job to run under JETS.
 

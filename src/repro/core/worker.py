@@ -161,6 +161,7 @@ class WorkerAgent:
                 )
             if self.heartbeat_interval > 0:
                 hb = self.env.process(self._heartbeat(), name="hb")
+            log = self.platform.trace.log
             while True:
                 msg = yield self._sock.recv()
                 kind = msg.payload[0]
@@ -185,7 +186,7 @@ class WorkerAgent:
                     # A malformed dispatcher message must not surface as
                     # an unhandled raise that poisons the whole sim: die
                     # cleanly, exactly like a kill.
-                    self.platform.trace.log(
+                    log(
                         "protocol.error",
                         {
                             "channel": wire.CHANNEL_JETS,
@@ -194,12 +195,11 @@ class WorkerAgent:
                             "detail": "unknown message kind from dispatcher",
                         },
                     )
-                    self.platform.trace.log(
+                    log(
                         "worker.killed",
                         {
                             "worker": self.worker_id,
-                            "cause": f"protocol error: unknown message "
-                                     f"{kind!r}",
+                            "cause": "protocol error: unknown message kind",
                         },
                     )
                     self._abandon_children("protocol error")
@@ -229,7 +229,9 @@ class WorkerAgent:
     def _abandon_children(self, cause: str) -> None:
         for child in self._children:
             if child.is_alive:
-                try:
+                # Per-child isolation: one already-finished child must not
+                # keep the rest of the brood alive.
+                try:  # repro: noqa[PF005]
                     child.interrupt(cause)
                 except Exception:
                     pass
@@ -259,12 +261,13 @@ class WorkerAgent:
             yield from self._report(job_id, 143, whole_node=mpi)
 
     def _heartbeat(self) -> Generator:
+        sock = self._sock
         try:
-            while self._alive and self._sock is not None and not self._sock.closed:
+            while self._alive and sock is not None and not sock.closed:
                 yield self.env.timeout(self.heartbeat_interval)
-                if self._sock.closed:
+                if sock.closed:
                     break
-                yield self._sock.send(
+                yield sock.send(
                     (wire.HEARTBEAT, self.worker_id),
                     wire.wire_size(wire.CHANNEL_JETS, wire.HEARTBEAT),
                 )

@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["RankContext", "MpiProgram", "FuncProgram"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RankContext:
     """Everything one MPI rank sees at startup.
 

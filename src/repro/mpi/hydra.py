@@ -274,6 +274,7 @@ class MpiexecController:
         t_app_end = 0.0
         rank0_value: Any = None
         deadline = env.now + cfg.launch_timeout
+        log = self.platform.trace.log
 
         while exits < n_proxies:
             get = self._queue.get()
@@ -294,7 +295,7 @@ class MpiexecController:
 
             if kind == wire.REGISTER:
                 registered += 1
-                self.platform.trace.log(
+                log(
                     "proxy.registered",
                     {
                         "job": self.job_id,
@@ -303,7 +304,7 @@ class MpiexecController:
                     },
                 )
                 if registered == n_proxies:
-                    self.platform.trace.log(
+                    log(
                         "job.pmi_wireup", {"job": self.job_id}
                     )
                     for sock in self._sockets.values():
@@ -332,13 +333,13 @@ class MpiexecController:
                     self.app_started = True
                     t_app_start = env.now
                     commit_bytes = cfg.kvs_bytes_per_rank * self.world_size
-                    self.platform.trace.log(
+                    log(
                         "job.app_running", {"job": self.job_id}
                     )
                     for wired_pid, sock in self._sockets.items():
                         if sock.closed:
                             continue
-                        self.platform.trace.log(
+                        log(
                             "proxy.wired",
                             {"job": self.job_id, "proxy": wired_pid},
                         )
@@ -357,7 +358,7 @@ class MpiexecController:
                 _, _pid, status, value = payload
                 exits += 1
                 exited.add(pid)
-                self.platform.trace.log(
+                log(
                     "proxy.exited",
                     {"job": self.job_id, "proxy": pid, "status": status},
                 )
@@ -405,7 +406,7 @@ class MpiexecController:
         # (worker kill, lost connection, abort): 143 = SIGTERM-style.
         for pid in self._sockets:
             if pid not in exited:
-                self.platform.trace.log(
+                log(
                     "proxy.exited",
                     {"job": self.job_id, "proxy": pid, "status": 143},
                 )
@@ -568,7 +569,9 @@ def run_proxy(
         # Worker killed (fault injection) or comm torn down under us.
         for proc in rank_procs:
             if proc.is_alive:
-                try:
+                # Per-rank isolation: one already-dead rank must not stop
+                # the teardown of the rest.
+                try:  # repro: noqa[PF005]
                     proc.interrupt("proxy killed")
                 except Exception:
                     pass
@@ -578,7 +581,8 @@ def run_proxy(
     except ConnectionClosed:
         for proc in rank_procs:
             if proc.is_alive:
-                try:
+                # Per-rank isolation, as above.
+                try:  # repro: noqa[PF005]
                     proc.interrupt("mpiexec connection lost")
                 except Exception:
                     pass

@@ -60,11 +60,12 @@ def load_executable(node: "Node", image: ExecutableImage) -> Generator:
     Reads from the node's RAM FS when staged there, otherwise from the
     shared filesystem (incurring contention).
     """
+    ramfs = node.ramfs
     for item in (image, *image.libraries):
-        if node.ramfs.has(item.name):
-            yield from node.ramfs.read(item.name)
+        if ramfs.has(item.name):
+            yield from ramfs.read(item.name)
         elif node.shared_fs is not None:
             yield from node.shared_fs.read(item.nbytes)
         else:  # no shared FS configured: treat as local
-            node.ramfs.store(item.name, item.nbytes)
-            yield from node.ramfs.read(item.name)
+            ramfs.store(item.name, item.nbytes)
+            yield from ramfs.read(item.name)

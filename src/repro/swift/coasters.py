@@ -54,7 +54,7 @@ def spectrum_blocks(total: int, smallest: int = 1) -> list[int]:
     return blocks
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoastersConfig:
     """CoasterService behaviour.
 

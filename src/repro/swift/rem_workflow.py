@@ -34,7 +34,7 @@ from .provider import LoginProvider, Provider
 __all__ = ["RemWorkflowConfig", "RemWorkflowResult", "run_rem_workflow", "ExchangeScript"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemWorkflowConfig:
     """Shape of one REM/Swift run (defaults mirror Fig. 18b).
 

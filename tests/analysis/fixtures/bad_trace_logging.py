@@ -48,7 +48,7 @@ class Thing:
         )
 
     def suppressed(self, state):
-        self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa[TR004]
+        self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa[TR004,PF003]
 
     def suppressed_bare(self, state):
         self.trace.log(f"worker.{state}", {"worker": 1})  # repro: noqa

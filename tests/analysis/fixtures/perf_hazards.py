@@ -1,0 +1,119 @@
+"""Seeded hot/cold performance hazards for the PF001-PF006 rules.
+
+Loaded as *text* by the lint tests, never imported.  The ``# MARK:``
+comments pin the expected finding lines.  ``Environment.step`` matches
+the declared kernel entry patterns, so every function it reaches is on
+the hot path — hazards there must surface as *errors* tagged
+``[hot path]``; the module-level helpers at the bottom are unreachable
+from any entry, so the same hazards there stay *warnings*.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Record:
+    """Slot-less dataclass: PF004's target when built in a loop."""
+
+    job: str
+    t: float
+
+
+@dataclass(slots=True)
+class SlottedRecord:
+    """Slotted: instantiating this in a hot loop must stay clean."""
+
+    job: str
+
+
+class Environment:
+    """Fixture kernel: ``step`` is an entry root, so this is hot."""
+
+    def __init__(self, trace, workers):
+        self.trace = trace
+        self.workers = workers
+        self.queue = []
+        self.platform = None
+
+    def step(self):
+        workers = self.workers
+        while self.queue:
+            for view in list(workers):  # MARK: PF001-hot
+                view.poll()
+            total = sum([w.load for w in workers])  # MARK: PF001-reducer
+            self._drain(total)
+
+    def _drain(self, total):
+        while self.queue:
+            self.platform.trace.log("dispatch.a", {})  # MARK: PF002-hot
+            self.platform.trace.log("dispatch.b", {})
+            self.trace.log("ev", {"msg": f"drained {total}"})  # MARK: PF003-hot
+            rec = Record("job", 0.0)  # MARK: PF004-hot
+            ok = SlottedRecord("job")  # slotted: must stay clean
+            self.queue.pop()
+            try:  # MARK: PF005-hot
+                self._place(rec, ok)
+            except KeyError:
+                break
+
+    def _place(self, rec, ok):
+        active = [w.job for w in self.workers]
+        while self.queue:
+            if rec.job in active:  # MARK: PF006-hot
+                return
+            self.queue.pop()
+
+    def _guarded_recv(self, sock):
+        # try-around-yield in a hot loop is the sanctioned cancellation
+        # idiom: PF005 must stay quiet here.
+        while True:
+            try:
+                msg = yield sock.recv()
+            except ConnectionError:
+                break
+            self.queue.append(msg)
+
+
+# -- cold: same hazards, unreachable from any entry -> warnings ----------
+
+
+def cold_copy_loop(jobs, names):
+    out = []
+    for job in jobs:
+        out.append(tuple(names))  # MARK: PF001-cold
+    return out
+
+
+def cold_attr_loop(ctx):
+    for _ in range(3):
+        ctx.stats.counters.add(1)  # MARK: PF002-cold
+        ctx.stats.counters.add(2)
+
+
+def cold_trace_format(trace, status):
+    trace.log("job.done", {"msg": "done: %s" % status})  # MARK: PF003-cold
+
+
+def cold_records(rows):
+    out = []
+    for row in rows:
+        out.append(Record(row, 0.0))  # MARK: PF004-cold
+    return out
+
+
+def cold_retry(items):
+    # Cold try-per-item is the normal recovery idiom; PF005 is scoped
+    # to hot functions and must not fire anywhere in this function.
+    for item in items:
+        try:
+            item.execute()
+        except ValueError:
+            pass
+
+
+def cold_membership(jobs):
+    seen = list(jobs)
+    for job in jobs:
+        if job in seen:  # MARK: PF006-cold
+            continue
+    return seen

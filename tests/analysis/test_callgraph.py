@@ -1,0 +1,230 @@
+"""Call-graph construction, hot-set reachability, and profile ingestion."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    load_profile,
+    module_name_for,
+)
+from repro.analysis.framework import Module
+
+
+def module_of(source: str, path: str = "mod.py") -> Module:
+    return Module(path, source, ast.parse(source, filename=path))
+
+
+def graph_of(*sources: str) -> CallGraph:
+    modules = [
+        module_of(src, f"mod{i}.py") for i, src in enumerate(sources)
+    ]
+    return CallGraph.build(modules)
+
+
+class TestModuleNames:
+    def test_src_anchored(self):
+        assert (
+            module_name_for("/x/src/repro/simkernel/core.py")
+            == "repro.simkernel.core"
+        )
+
+    def test_repro_anchored(self):
+        assert module_name_for("repro/core/jets.py") == "repro.core.jets"
+
+    def test_init_drops_stem(self):
+        assert module_name_for("/x/src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_bare_file_uses_stem(self):
+        assert module_name_for("perf_hazards.py") == "perf_hazards"
+
+
+class TestEdgeResolution:
+    def test_same_module_function_call(self):
+        g = graph_of("def helper():\n    pass\n\ndef main():\n    helper()\n")
+        assert g.edges["mod0:main"]["mod0:helper"] == "call"
+
+    def test_self_method_resolves_in_class(self):
+        g = graph_of(
+            "class A:\n"
+            "    def f(self):\n"
+            "        self.g()\n"
+            "    def g(self):\n"
+            "        pass\n"
+        )
+        assert g.edges["mod0:A.f"]["mod0:A.g"] == "method"
+
+    def test_self_method_resolves_through_base(self):
+        g = graph_of(
+            "class Base:\n"
+            "    def g(self):\n"
+            "        pass\n"
+            "class Child(Base):\n"
+            "    def f(self):\n"
+            "        self.g()\n"
+        )
+        assert g.edges["mod0:Child.f"]["mod0:Base.g"] == "method"
+
+    def test_cross_module_cha_by_name(self):
+        g = graph_of(
+            "def drive(obj):\n    obj.handle()\n",
+            "class Handler:\n    def handle(self):\n        pass\n",
+        )
+        assert g.edges["mod0:drive"]["mod1:Handler.handle"] == "cha"
+
+    def test_builtin_method_names_skipped(self):
+        g = graph_of(
+            "def drive(q):\n    q.append(1)\n",
+            "class Q:\n    def append(self, x):\n        pass\n",
+        )
+        assert "mod1:Q.append" not in g.edges.get("mod0:drive", {})
+
+    def test_process_factory_edge(self):
+        g = graph_of(
+            "class Agent:\n"
+            "    def start(self, env):\n"
+            "        env.process(self._run())\n"
+            "    def _run(self):\n"
+            "        yield\n"
+        )
+        assert g.edges["mod0:Agent.start"]["mod0:Agent._run"] == "process"
+
+    def test_constructor_edge_to_init(self):
+        g = graph_of(
+            "class Thing:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "def build():\n"
+            "    return Thing()\n"
+        )
+        assert g.edges["mod0:build"]["mod0:Thing.__init__"] == "init"
+
+    def test_module_level_call_has_synthetic_caller(self):
+        g = graph_of("def f():\n    pass\n\nf()\n")
+        assert g.edges["mod0:<module>"]["mod0:f"] == "call"
+
+
+class TestHotSet:
+    KERNEL = (
+        "class Environment:\n"
+        "    def step(self):\n"
+        "        self._dispatch()\n"
+        "    def _dispatch(self):\n"
+        "        handle_event()\n"
+        "def handle_event():\n"
+        "    pass\n"
+        "def cold_tool():\n"
+        "    pass\n"
+    )
+
+    def test_reachable_closure(self):
+        g = graph_of(self.KERNEL)
+        hot = g.hot_set()
+        assert "mod0:Environment.step" in hot
+        assert "mod0:Environment._dispatch" in hot
+        assert "mod0:handle_event" in hot
+        assert "mod0:cold_tool" not in hot
+
+    def test_cycles_terminate(self):
+        g = graph_of(
+            "class Environment:\n"
+            "    def step(self):\n"
+            "        ping()\n"
+            "def ping():\n"
+            "    pong()\n"
+            "def pong():\n"
+            "    ping()\n"
+        )
+        hot = g.hot_set()
+        assert {"mod0:ping", "mod0:pong"} <= hot
+
+    def test_callback_dispatched_from_step(self):
+        g = graph_of(
+            "class Environment:\n"
+            "    def step(self):\n"
+            "        pass\n"
+            "def install(trace):\n"
+            "    def on_record(rec):\n"
+            "        pass\n"
+            "    trace.subscribe(on_record)\n"
+        )
+        assert (
+            g.edges["mod0:Environment.step"]["mod0:install.on_record"]
+            == "dispatch"
+        )
+        assert "mod0:install.on_record" in g.hot_set()
+
+    def test_no_environment_means_cold_callbacks(self):
+        g = graph_of(
+            "def install(trace):\n"
+            "    def on_record(rec):\n"
+            "        pass\n"
+            "    trace.subscribe(on_record)\n"
+        )
+        assert "mod0:install.on_record" not in g.hot_set()
+
+    def test_chain_explains_reachability(self):
+        g = graph_of(self.KERNEL)
+        chain = g.chain("mod0:handle_event")
+        assert chain is not None
+        ids = [fid for fid, _ in chain]
+        assert ids[0] == "mod0:Environment.step"
+        assert ids[-1] == "mod0:handle_event"
+        assert chain[0][1] == "entry:Environment.step"
+
+    def test_chain_of_root_is_itself(self):
+        g = graph_of(self.KERNEL)
+        assert g.chain("mod0:Environment.step") == [
+            ("mod0:Environment.step", "entry:Environment.step")
+        ]
+
+    def test_chain_none_for_unreachable(self):
+        g = graph_of(self.KERNEL)
+        assert g.chain("mod0:cold_tool") is None
+
+    def test_resolve_variants(self):
+        g = graph_of(self.KERNEL)
+        assert g.resolve("mod0:Environment.step") == ["mod0:Environment.step"]
+        assert g.resolve("Environment.step") == ["mod0:Environment.step"]
+        assert g.resolve("step") == ["mod0:Environment.step"]
+        assert g.resolve("nope") == []
+
+
+class TestProfile:
+    def test_round_trip_and_union(self, tmp_path):
+        doc = {
+            "schema": 1,
+            "kind": "profile",
+            "workloads": {
+                "event_churn": [
+                    {"id": "mod0:cold_tool", "cumtime": 1.5},
+                    {"id": "other:thing", "cumtime": 0.1},
+                ],
+            },
+        }
+        path = tmp_path / "BENCH_profile.json"
+        path.write_text(json.dumps(doc))
+        ids, loaded = load_profile(str(path))
+        assert ids == {"mod0:cold_tool", "other:thing"}
+        assert loaded["kind"] == "profile"
+
+        g = graph_of(TestHotSet.KERNEL)
+        hot = g.hot_set(ids)
+        assert "mod0:cold_tool" in hot
+        chain = g.chain("mod0:cold_tool", ids)
+        assert chain == [("mod0:cold_tool", "profile")]
+
+    def test_profile_suffix_match(self):
+        g = graph_of(TestHotSet.KERNEL)
+        matched = g.match_profile(["somewhere.else:cold_tool"])
+        assert matched == {"mod0:cold_tool"}
+
+    def test_rejects_non_profile_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"results": {}}))
+        with pytest.raises(ValueError):
+            load_profile(str(path))

@@ -111,3 +111,145 @@ def test_jets_cli_dispatches_lint(tmp_path, capsys):
     path = tmp_path / "clean.py"
     path.write_text(CLEAN)
     assert main(["lint", str(path)]) == 0
+
+
+KERNEL_SRC = (
+    "class Environment:\n"
+    "    def step(self):\n"
+    "        self._dispatch()\n"
+    "    def _dispatch(self):\n"
+    "        handle()\n"
+    "def handle():\n"
+    "    pass\n"
+    "def cold():\n"
+    "    pass\n"
+)
+
+
+class TestHotpath:
+    @pytest.fixture()
+    def kernel_dir(self, tmp_path):
+        (tmp_path / "kernel.py").write_text(KERNEL_SRC)
+        return tmp_path
+
+    def test_dump_lists_hot_set(self, kernel_dir, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        assert hotpath_main(["--path", str(kernel_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel:Environment.step" in out
+        assert "entry:Environment.step" in out
+        assert "kernel:handle" in out
+        assert "kernel:cold" not in out
+
+    def test_explain_hot_function(self, kernel_dir, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        assert hotpath_main(["handle", "--path", str(kernel_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "HOT" in out and "Environment.step" in out
+
+    def test_cold_function_exits_one(self, kernel_dir, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        assert hotpath_main(["cold", "--path", str(kernel_dir)]) == 1
+        assert "NOT on the hot path" in capsys.readouterr().out
+
+    def test_unknown_function_exits_two(self, kernel_dir, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        assert hotpath_main(["nope", "--path", str(kernel_dir)]) == 2
+        assert "no function matches" in capsys.readouterr().err
+
+    def test_json_dump_shape(self, kernel_dir, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        assert hotpath_main(
+            ["--path", str(kernel_dir), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "kernel:Environment.step" in doc["hot"]
+        assert doc["roots"]["kernel:Environment.step"].startswith("entry:")
+
+    def test_profile_widens_hot_set(self, kernel_dir, tmp_path, capsys):
+        from repro.analysis.cli import hotpath_main
+
+        profile = tmp_path / "BENCH_profile.json"
+        profile.write_text(json.dumps({
+            "workloads": {"wl": [{"id": "kernel:cold", "cumtime": 1.0}]}
+        }))
+        assert hotpath_main([
+            "cold", "--path", str(kernel_dir),
+            "--hot-profile", str(profile),
+        ]) == 0
+        assert "profile" in capsys.readouterr().out
+
+    def test_repo_hot_set_contains_kernel_entries(self, capsys):
+        """The acceptance contract: the real src/ hot set holds the
+        kernel loop, the store dispatch, and the dispatcher handlers."""
+        from pathlib import Path
+
+        import repro
+
+        from repro.analysis.cli import hotpath_main
+
+        src = str(Path(repro.__file__).parent)
+        assert hotpath_main(["--path", src]) == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "repro.simkernel.core:Environment.step",
+            "repro.simkernel.resources:Store._dispatch",
+            "repro.core.dispatcher:JetsDispatcher._handle_worker",
+            "repro.core.dispatcher:JetsDispatcher._scheduler_loop",
+        ):
+            assert needle in out
+
+    def test_jets_cli_dispatches_hotpath(self, kernel_dir, capsys):
+        from repro.core.cli import main
+
+        assert main(["hotpath", "--path", str(kernel_dir)]) == 0
+        assert "hot path" in capsys.readouterr().out
+
+
+class TestLintHotProfile:
+    def test_bad_profile_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN)
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert lint_main(
+            [str(target), "--hot-profile", str(bogus)]
+        ) == 2
+        assert "hot-profile" in capsys.readouterr().err
+
+    def test_json_findings_carry_hot_path_field(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        assert lint_main([str(path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"]
+        assert all("hot_path" in f for f in doc["findings"])
+
+    def test_profile_escalates_and_resets(self, tmp_path, capsys):
+        from repro.analysis.perf_rules import hot_profile
+
+        target = tmp_path / "cold.py"
+        target.write_text(
+            "def cold_loop(ctx):\n"
+            "    for _ in range(3):\n"
+            "        ctx.stats.counters.add(1)\n"
+            "        ctx.stats.counters.add(2)\n"
+        )
+        profile = tmp_path / "BENCH_profile.json"
+        profile.write_text(json.dumps({
+            "workloads": {"wl": [{"id": "cold:cold_loop"}]}
+        }))
+        assert lint_main([
+            str(target), "--select", "PF002", "--format", "json",
+            "--hot-profile", str(profile),
+        ]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        (finding,) = doc["findings"]
+        assert finding["severity"] == "error"
+        assert finding["hot_path"] is True
+        assert hot_profile() is None  # reset after the run

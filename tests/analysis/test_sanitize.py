@@ -59,7 +59,10 @@ class TestLintJson:
         assert doc["files"] == 1
         assert doc["errors"] == []
         assert doc["findings"]
-        keys = {"path", "line", "col", "rule", "severity", "message"}
+        keys = {
+            "path", "line", "col", "rule", "severity", "message",
+            "hot_path",
+        }
         assert all(set(f) == keys for f in doc["findings"])
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
