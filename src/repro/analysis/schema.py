@@ -43,6 +43,19 @@ __all__ = [
     "FAULT_PARTITION",
     "FAULT_HEAL",
     "FAULT_STAGING",
+    "FAULT_DISPATCHER_CRASH",
+    "RESUME_BEGIN",
+    "RESUME_SKIP",
+    "RESUME_RESUBMIT",
+    "JOURNAL_RUN_BEGIN",
+    "JOURNAL_RUN_END",
+    "JOURNAL_JOB_SUBMITTED",
+    "JOURNAL_JOB_LAUNCHED",
+    "JOURNAL_JOB_DONE",
+    "JOURNAL_JOB_FAILED",
+    "JOURNAL_JOB_RETRY",
+    "JOURNAL_WORKER_REGISTERED",
+    "JOURNAL_WORKER_LOST",
     "RECOVER_BACKOFF",
     "RECOVER_HUNG",
     "RECOVER_GANG_TEARDOWN",
@@ -118,6 +131,19 @@ FAULT_NET_DELAY = "fault.net_delay"
 FAULT_PARTITION = "fault.partition"
 FAULT_HEAL = "fault.heal"
 FAULT_STAGING = "fault.staging"
+FAULT_DISPATCHER_CRASH = "fault.dispatcher_crash"
+RESUME_BEGIN = "resume.begin"
+RESUME_SKIP = "resume.skip"
+RESUME_RESUBMIT = "resume.resubmit"
+JOURNAL_RUN_BEGIN = "journal.run_begin"
+JOURNAL_RUN_END = "journal.run_end"
+JOURNAL_JOB_SUBMITTED = "journal.job_submitted"
+JOURNAL_JOB_LAUNCHED = "journal.job_launched"
+JOURNAL_JOB_DONE = "journal.job_done"
+JOURNAL_JOB_FAILED = "journal.job_failed"
+JOURNAL_JOB_RETRY = "journal.job_retry"
+JOURNAL_WORKER_REGISTERED = "journal.worker_registered"
+JOURNAL_WORKER_LOST = "journal.worker_lost"
 RECOVER_BACKOFF = "recover.backoff"
 RECOVER_HUNG = "recover.hung"
 RECOVER_GANG_TEARDOWN = "recover.gang_teardown"
@@ -265,6 +291,100 @@ _STATIC_SPECS = [
         FAULT_STAGING,
         required=("node", "until"),
         description="fault injector failed staging I/O on a node",
+    ),
+    _spec(
+        FAULT_DISPATCHER_CRASH,
+        required=("at",),
+        description=(
+            "fault injector killed the dispatcher process mid-run; "
+            "recovery is a fresh process resuming from the run journal"
+        ),
+    ),
+    _spec(
+        RESUME_BEGIN,
+        required=("journal", "segment"),
+        optional=("crash_time", "outstanding"),
+        description=(
+            "resume engine rebuilt dispatcher state from a run journal "
+            "and is restarting the interrupted run as a new segment"
+        ),
+    ),
+    _spec(
+        RESUME_SKIP,
+        required=("job", "outcome"),
+        description=(
+            "journal replay found this job already settled (done/failed) "
+            "before the crash; it is not resubmitted"
+        ),
+    ),
+    _spec(
+        RESUME_RESUBMIT,
+        required=("job", "attempt"),
+        description=(
+            "journal replay found this job in flight at the crash; it is "
+            "resubmitted with its attempt counter preserved"
+        ),
+    ),
+    # -- write-ahead run journal records (repro/core/journal.py).  These
+    # are written to the journal file, not the trace, but registering
+    # them keeps journals valid under `jets lint-trace` (each journal
+    # segment is one monotone run tagged with its segment index).
+    _spec(
+        JOURNAL_RUN_BEGIN,
+        required=("machine", "nodes", "seed"),
+        optional=(
+            "jobs", "policy", "grouping", "slots", "cores_per_node",
+            "stage", "resume",
+        ),
+        description="durable run header (flushed before any job record)",
+    ),
+    _spec(
+        JOURNAL_RUN_END,
+        required=("ok",),
+        optional=("completed", "failed"),
+        description="run drained (or was capped) and shut down cleanly",
+    ),
+    _spec(
+        JOURNAL_JOB_SUBMITTED,
+        required=("job", "mpi", "nodes", "ppn"),
+        optional=(
+            "command", "max_attempts", "attempts", "duration_hint",
+            "priority",
+        ),
+        description="dispatcher accepted a job (replay re-specs from this)",
+    ),
+    _spec(
+        JOURNAL_JOB_LAUNCHED,
+        required=("job", "attempt"),
+        description="job placed on workers; in flight until done/failed",
+    ),
+    _spec(
+        JOURNAL_JOB_DONE,
+        required=("job", "attempt"),
+        description="job completed successfully (replay skips it)",
+    ),
+    _spec(
+        JOURNAL_JOB_FAILED,
+        required=("job", "attempt"),
+        optional=("error",),
+        description="job failed permanently (replay skips it)",
+    ),
+    _spec(
+        JOURNAL_JOB_RETRY,
+        required=("job", "attempt"),
+        optional=("error", "reason"),
+        description="attempt failed and was requeued; attempt counter bumped",
+    ),
+    _spec(
+        JOURNAL_WORKER_REGISTERED,
+        required=("worker", "node"),
+        description="pilot registered with the dispatcher",
+    ),
+    _spec(
+        JOURNAL_WORKER_LOST,
+        required=("worker",),
+        optional=("reason",),
+        description="dispatcher declared a pilot lost",
     ),
     _spec(
         RECOVER_BACKOFF,

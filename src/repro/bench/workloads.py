@@ -256,6 +256,46 @@ def _fig06_rate(quick: bool) -> dict:
     return out
 
 
+def _fig06_journal(quick: bool) -> dict:
+    """``fig06_rate`` with the write-ahead run journal enabled.
+
+    Same workload parameters as ``fig06_rate``, so the wall-time delta
+    between the two in one bench invocation prices journaling overhead
+    (CI's chaos-resume job gates it below 5%).  The journal goes to a
+    fresh temp file each call and is deleted afterwards; only its
+    (deterministic) record count lands in the result meta.
+    """
+    import os
+    import tempfile
+
+    from ..experiments import fig06_sequential
+    from ..obs import session
+
+    nodes = (64,) if quick else (256,)
+    tpn = 4 if quick else 8
+    fd, path = tempfile.mkstemp(prefix="jets-bench-", suffix=".journal")
+    os.close(fd)
+    try:
+        with session() as s:
+            rows = fig06_sequential.run(
+                node_sizes=nodes, tasks_per_node=tpn, seed=0,
+                journal_path=path,
+            )
+        with open(path, "rb") as fh:
+            journal_records = sum(1 for line in fh if line.strip())
+    finally:
+        os.unlink(path)
+    out = _collect(s.runs)
+    out.update(
+        nodes=list(nodes),
+        tasks_per_node=tpn,
+        rate=rows[-1]["rate"],
+        completed=rows[-1]["completed"],
+        journal_records=journal_records,
+    )
+    return out
+
+
 def _fig09_mpi512(quick: bool) -> dict:
     """Fig. 9 MPI point: 512 nodes, 8-process tasks (128 nodes in quick)."""
     from ..experiments import fig09_bgp
@@ -407,6 +447,10 @@ SUITES: dict[str, list[Workload]] = {
     ],
     "macro": [
         Workload("fig06_rate", _fig06_rate, "Fig. 6 sequential launch rate"),
+        Workload(
+            "fig06_journal", _fig06_journal,
+            "fig06_rate twin with the run journal on (overhead gate)",
+        ),
         Workload("fig09_mpi512", _fig09_mpi512, "Fig. 9 512-node MPI point"),
         Workload("chaos_mix", _chaos_mix, "chaos plans with recovery"),
         Workload("explore_slice", _explore_slice, "schedule-explorer slice"),

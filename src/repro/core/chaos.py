@@ -43,6 +43,7 @@ from ..simkernel import Environment, SeededOrder
 
 __all__ = [
     "FAULT_KINDS",
+    "PLAN_KINDS",
     "FaultClause",
     "FaultPlan",
     "ChaosEngine",
@@ -55,7 +56,10 @@ __all__ = [
     "chaos_main",
 ]
 
-#: Every fault kind the engine can inject.
+#: Every fault kind the engine can inject.  ``dispatcher_crash`` is
+#: deliberately last: generated campaign plans cycle over
+#: :data:`PLAN_KINDS` (everything before it), so adding the crash tier
+#: did not reshuffle the byte-stable plans of existing chaos campaigns.
 FAULT_KINDS = (
     "worker_kill",
     "proxy_kill",
@@ -64,7 +68,14 @@ FAULT_KINDS = (
     "net_delay",
     "partition",
     "staging",
+    "dispatcher_crash",
 )
+
+#: Kinds the generated ``jets chaos`` plan mix cycles through.  A
+#: dispatcher crash ends the run (recovery is a *new process* resuming
+#: from the journal — :mod:`repro.core.resume`), so it is driven by the
+#: dedicated ``jets resume --verify`` campaign, not the in-run mix.
+PLAN_KINDS = FAULT_KINDS[:-1]
 
 #: Inter-arrival laws a clause may use.
 CLAUSE_MODES = ("fixed", "exponential", "jittered", "scheduled")
@@ -177,6 +188,10 @@ class ChaosEngine:
         self.active = False
         #: kind -> number of faults actually injected.
         self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: Fires when a ``dispatcher_crash`` clause kills the run; the
+        #: harness races it against ``dispatcher.drained`` and abandons
+        #: the journal when it wins.
+        self.crashed = platform.env.event()
         self._effects: list[dict] = []
         self._remover: Optional[Callable[[], None]] = None
         self._net_rng = None
@@ -428,6 +443,21 @@ class ChaosEngine:
 
         self.env.process(heal(), name=f"chaos-heal-n{node_id}")
 
+    def _fire_dispatcher_crash(self, clause: FaultClause, rng) -> None:
+        """Kill the dispatcher process itself (at most once per run).
+
+        The engine only *signals* the crash; the harness owns the
+        dispatcher and its journal, so it tears the run down (abandoning
+        the journal's unflushed tail) when :attr:`crashed` fires.
+        """
+        if self.crashed.triggered:
+            return
+        self._count("dispatcher_crash")
+        self.platform.trace.log(
+            "fault.dispatcher_crash", {"at": self.env.now}
+        )
+        self.crashed.succeed()
+
 
 # -- campaign generation --------------------------------------------------------
 
@@ -556,10 +586,10 @@ def plan_for_index(index: int, fault_window: float = 30.0) -> FaultPlan:
     every pair of kinds) many times over.
     """
     n = 4 if index % 3 == 0 else 2
-    start = index % len(FAULT_KINDS)
-    step = 1 + (index // len(FAULT_KINDS)) % (len(FAULT_KINDS) - 1)
+    start = index % len(PLAN_KINDS)
+    step = 1 + (index // len(PLAN_KINDS)) % (len(PLAN_KINDS) - 1)
     kinds = [
-        FAULT_KINDS[(start + j * step) % len(FAULT_KINDS)] for j in range(n)
+        PLAN_KINDS[(start + j * step) % len(PLAN_KINDS)] for j in range(n)
     ]
     clauses = tuple(
         _clause_for(kind, index, slot, fault_window)

@@ -8,7 +8,9 @@ Usage::
          [--faults INTERVAL] [--seed SEED]
          [--trace-out RUN.jsonl] [--chrome-trace RUN.trace.json]
          [--report] [--stream-trace] [--trace-window N]
-         [--progress-every S] TASKFILE
+         [--progress-every S] [--journal RUN.journal] TASKFILE
+    jets resume [--until S] RUN.journal
+    jets resume --verify [--jobs N] [--crash-points K] [--seed S]
     jets report [--follow] RUN.jsonl
     jets top RUN.jsonl
     jets lint [PATH ...]
@@ -52,7 +54,12 @@ machinery enabled, held to the same validators plus exact job
 accounting (:mod:`repro.core.chaos`).  ``jets bench`` runs the
 performance workload suites and writes ``BENCH_<suite>.json``
 (:mod:`repro.bench`); with ``--against`` it gates on wall-time
-regression versus a saved baseline.
+regression versus a saved baseline.  ``--journal`` appends a
+crash-consistent write-ahead journal of the run's durable state
+transitions, and ``jets resume`` restarts a crashed run from one —
+skipping completed jobs, resubmitting in-flight ones
+(:mod:`repro.core.resume`, DESIGN.md §15); ``jets resume --verify``
+runs the seeded crash-equivalence campaign.
 """
 
 from __future__ import annotations
@@ -152,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-window", type=int, default=65536, metavar="N",
         help="streaming sink retention window in records (default: 65536)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="RUN.journal",
+        help="append a crash-consistent write-ahead journal of durable "
+             "state transitions; a crashed run restarts from it with "
+             "'jets resume RUN.journal'",
     )
     parser.add_argument(
         "--progress-every", type=float, default=None, metavar="SECONDS",
@@ -268,12 +281,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .chaos import chaos_main
 
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "resume":
+        from .resume import resume_main
+
+        return resume_main(list(argv[1:]))
     if argv and argv[0] == "bench":
         from ..bench.cli import bench_main
 
         return bench_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
-    for path in (args.trace_out, args.chrome_trace):
+    for path in (args.trace_out, args.chrome_trace, args.journal):
         reason = unwritable_reason(path)
         if reason is not None:
             print(f"jets: cannot write {path}: {reason}", file=sys.stderr)
@@ -309,6 +326,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.faults
         else None
     )
+    journal = None
+    if args.journal is not None:
+        from .journal import RunJournal
+
+        journal = RunJournal(args.journal)
     with obs_scope(
         trace_out=args.trace_out,
         chrome_out=args.chrome_trace,
@@ -317,7 +339,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         window=args.trace_window,
         progress_every=args.progress_every,
     ):
-        report = sim.run_standalone(tasks, faults=faults, until=args.until)
+        report = sim.run_standalone(
+            tasks, faults=faults, until=args.until, journal=journal
+        )
 
     print(report.summary())
     if report.jobs_failed:

@@ -96,6 +96,7 @@ class JetsDispatcher:
         endpoint: Optional[int] = None,
         service: str = "jets",
         expected_workers: Optional[int] = None,
+        journal=None,
     ):
         self.platform = platform
         self.env: Environment = platform.env
@@ -103,6 +104,9 @@ class JetsDispatcher:
         self.endpoint = platform.login_endpoint if endpoint is None else endpoint
         self.service = service
         self.expected_workers = expected_workers
+        #: Optional write-ahead :class:`~repro.core.journal.RunJournal`;
+        #: ``None`` keeps every hook a no-op (golden traces unchanged).
+        self.journal = journal
 
         self.policy = make_policy(self.config.policy)
         topo = platform.topology if self.config.grouping == "topology" else None
@@ -175,6 +179,8 @@ class JetsDispatcher:
                 "ppn": job.ppn,
             },
         )
+        if self.journal is not None:
+            self.journal.job_submitted(job)
         done = self._job_events.setdefault(job.job_id, self.env.event())
         if self.expected_workers is not None and job.mpi and (
             job.nodes > self.expected_workers
@@ -200,6 +206,11 @@ class JetsDispatcher:
                 self.submit(job)
         finally:
             self._submitting = False
+        if self.journal is not None:
+            # A job the journal never heard of cannot be resubmitted on
+            # resume, so the submission batch must be durable before the
+            # run can crash out from under it.
+            self.journal.flush()
         self._check_drained()
 
     def shutdown_workers(self) -> Generator:
@@ -295,6 +306,8 @@ class JetsDispatcher:
             self.platform.trace.log(
                 "worker.registered", {"worker": worker_id, "node": node_id}
             )
+            if self.journal is not None:
+                self.journal.worker_registered(worker_id, node_id)
             env = self.env
             log = self.platform.trace.log
             while True:
@@ -391,6 +404,8 @@ class JetsDispatcher:
         self.platform.trace.log(
             "worker.lost", {"worker": view.worker_id, "reason": reason}
         )
+        if self.journal is not None:
+            self.journal.worker_lost(view.worker_id, reason)
         # Abort any MPI jobs this worker was part of (the mpiexec failure
         # path returns ok=False and the job is resubmitted); requeue serial
         # jobs that died with the worker.  Sorted: set order hangs on the
@@ -480,6 +495,8 @@ class JetsDispatcher:
                         "workers": [v.worker_id for v in views],
                     },
                 )
+                if self.journal is not None:
+                    self.journal.job_launched(job.job_id, job.attempts)
                 if job.mpi:
                     env.process(
                         self._run_mpi_job(job, views), name=f"jets-{job.job_id}"
@@ -743,6 +760,8 @@ class JetsDispatcher:
         if reason is not None:
             payload["reason"] = reason
         self.platform.trace.log("job.retry", payload)
+        if self.journal is not None:
+            self.journal.job_retry(job.job_id, job.attempts, error, reason)
         self._resubmits.incr()
         if self.shutting_down or job.attempts >= job.max_attempts:
             self._finish(job, ok=False, result=result, error=error)
@@ -815,6 +834,11 @@ class JetsDispatcher:
                 "app_end": result.t_app_end if result else None,
             },
         )
+        if self.journal is not None:
+            if ok:
+                self.journal.job_done(job.job_id, job.attempts)
+            else:
+                self.journal.job_failed(job.job_id, job.attempts, error)
         done = self._job_events.get(job.job_id)
         if done is not None and not done.triggered:
             done.succeed(self.completed[-1])

@@ -141,6 +141,7 @@ class Simulation:
         allocation_nodes: Optional[int] = None,
         faults: Optional[FaultSpec] = None,
         until: Optional[float] = None,
+        journal=None,
     ) -> StandaloneReport:
         """Execute a task list inside one allocation; returns the report.
 
@@ -151,12 +152,32 @@ class Simulation:
             until: optional cap on simulated time, measured from when the
                 allocation is up (for fault runs that never drain because
                 all workers die).
+            journal: optional write-ahead
+                :class:`~repro.core.journal.RunJournal`; the run's durable
+                state transitions are appended so ``jets resume`` can
+                restart it after a crash (DESIGN.md §15).  ``None`` (the
+                default) leaves every trace byte-identical to pre-journal
+                runs.
         """
         nodes = allocation_nodes or self.machine.nodes
         platform = Platform(self.machine, seed=self.seed)
+        if journal is not None:
+            journal.bind(platform.env)
+            journal.run_begin(
+                machine=self.machine.name,
+                nodes=nodes,
+                seed=self.seed,
+                jobs=len(tasks),
+                policy=self.config.service.policy,
+                grouping=self.config.service.grouping,
+                slots=self.config.worker_slots,
+                cores_per_node=self.machine.cores_per_node,
+                stage=self.config.stage_binaries,
+            )
         batch = BatchScheduler(platform)
         dispatcher = JetsDispatcher(
-            platform, self.config.service, expected_workers=nodes
+            platform, self.config.service, expected_workers=nodes,
+            journal=journal,
         )
         workers: list[WorkerAgent] = []
         injector_box: list[FaultInjector] = []
@@ -214,6 +235,14 @@ class Simulation:
             platform.env.run(platform.env.any_of([proc, stop]))
         else:
             platform.env.run(proc)
+        if journal is not None:
+            failed_n = sum(1 for c in dispatcher.completed if not c.ok)
+            journal.run_end(
+                ok=dispatcher.drained.triggered and failed_n == 0,
+                completed=sum(1 for c in dispatcher.completed if c.ok),
+                failed=failed_n,
+            )
+            journal.close()
         return self._report(platform, dispatcher, workers, nodes, injector_box)
 
     # -- internals ---------------------------------------------------------------

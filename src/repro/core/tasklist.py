@@ -52,6 +52,16 @@ class JobSpec:
             this connection, removing the need for a separate data
             transfer mechanism").
         stage_out_bytes: output data shipped back with the completion.
+
+    **Id-stability contract.** ``job_id`` is the job's *durable* identity:
+    the run journal keys every record on it and crash-resume replay
+    matches completions, retries and resubmissions by it
+    (:mod:`repro.core.resume`).  An id must therefore (a) be unique
+    within a run — :class:`TaskList` rejects duplicates — and (b) stay
+    fixed for the life of the job: resubmission after a fault bumps
+    ``attempts``, never ``job_id``.  The default draws from a
+    process-global sequence, so auto-assigned ids never collide
+    in-process; callers supplying explicit ids own their uniqueness.
     """
 
     program: MpiProgram
@@ -98,6 +108,15 @@ class TaskList:
         self.jobs: list[JobSpec] = list(jobs)
         if not self.jobs:
             raise TaskListError("task list is empty")
+        seen: set[str] = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise TaskListError(
+                    f"duplicate job id {job.job_id!r}: job ids are the "
+                    "durable replay key (journal/resume accounting) and "
+                    "must be unique within a run"
+                )
+            seen.add(job.job_id)
 
     def __len__(self) -> int:
         return len(self.jobs)

@@ -36,10 +36,17 @@ def run(
     node_sizes=(64, 256, 512, 1024),
     tasks_per_node: int = 16,
     seed: int = 0,
+    journal_path=None,
 ) -> list[dict]:
-    """Measure sequential no-op launch rate per allocation size."""
+    """Measure sequential no-op launch rate per allocation size.
+
+    ``journal_path`` turns the write-ahead run journal on (one segment
+    per allocation size appended to the same file) — the bench suite's
+    ``fig06_journal`` workload uses it to price journaling overhead
+    against the journal-off ``fig06_rate`` twin.
+    """
     rows = []
-    for nodes in node_sizes:
+    for i, nodes in enumerate(node_sizes):
         machine = surveyor(nodes)
         sim = Simulation(
             machine,
@@ -47,7 +54,12 @@ def run(
             seed=seed,
         )
         tasks = TaskList.from_lines(["SERIAL: noop"] * (nodes * tasks_per_node))
-        report = sim.run_standalone(tasks)
+        journal = None
+        if journal_path is not None:
+            from ..core.journal import RunJournal
+
+            journal = RunJournal(journal_path, segment=i, append=i > 0)
+        report = sim.run_standalone(tasks, journal=journal)
         rows.append(
             {
                 "nodes": nodes,

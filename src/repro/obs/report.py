@@ -70,6 +70,12 @@ class RunReport:
     fault_kinds: dict[str, int] = field(default_factory=dict)
     workers_seen: int = 0
     workers_lost: int = 0
+    #: Crash-recovery (``resume.*``) breakdown of a resumed run.
+    resumes: int = 0
+    resume_skipped_done: int = 0
+    resume_skipped_failed: int = 0
+    resume_resubmitted: int = 0
+    crash_time: Optional[float] = None
     span: float = 0.0
     throughput: float = 0.0
     utilization: Optional[float] = None
@@ -175,6 +181,15 @@ class RunReport:
             fault_kinds=kinds,
             workers_seen=len(workers),
             workers_lost=sum(1 for w in workers if w.outcome == "lost"),
+            resumes=len(spans.resumes),
+            resume_skipped_done=sum(
+                1 for o in spans.resume_skipped.values() if o == "done"
+            ),
+            resume_skipped_failed=sum(
+                1 for o in spans.resume_skipped.values() if o == "failed"
+            ),
+            resume_resubmitted=len(spans.resume_resubmitted),
+            crash_time=spans.crash_time,
             span=active_span,
             throughput=(len(completed) / active_span) if active_span > 0 else 0.0,
             utilization=utilization,
@@ -243,6 +258,18 @@ class RunReport:
                 + ", ".join(
                     f"{k}={v}" for k, v in sorted(self.fault_kinds.items())
                 )
+            )
+        if self.resumes:
+            crash = (
+                f", crash at t={self.crash_time:.3f} s"
+                if self.crash_time is not None
+                else ""
+            )
+            lines.append(
+                f"recovery: {self.resumes} resume(s){crash} — "
+                f"{self.resume_skipped_done} skipped done, "
+                f"{self.resume_skipped_failed} skipped failed, "
+                f"{self.resume_resubmitted} resubmitted"
             )
         if self.resubmit_causes:
             ordered = [c for c in _CAUSES if c in self.resubmit_causes]

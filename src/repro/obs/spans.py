@@ -243,6 +243,17 @@ class RunSpans:
     #: category suffix (``kill``, ``straggler``, ``net_drop``, ...).
     #: ``faults`` keeps only the kill times (Fig. 10 semantics).
     fault_events: list[tuple[float, str]] = field(default_factory=list)
+    #: Resume checkpoints folded from ``resume.begin`` — ``(time,
+    #: segment)`` per resume of a journaled run.
+    resumes: list[tuple[float, int]] = field(default_factory=list)
+    #: job_id -> settled outcome for jobs skipped at resume (already
+    #: done/failed in the journal the resume replayed).
+    resume_skipped: dict[str, str] = field(default_factory=dict)
+    #: Job ids resubmitted at resume (journaled in-flight at the crash).
+    resume_resubmitted: list[str] = field(default_factory=list)
+    #: Crash point the last resume reported (sim-time of the torn run's
+    #: final journaled record).
+    crash_time: Optional[float] = None
     #: Run metadata from the ``run.allocation`` record, when present.
     allocation_nodes: Optional[int] = None
     cores_per_node: Optional[int] = None
@@ -282,7 +293,7 @@ def _worker_span(run: RunSpans, worker_id: int) -> WorkerSpan:
     return span
 
 
-_SPAN_FAMILIES = ("job.", "worker.", "proxy.", "fault.")
+_SPAN_FAMILIES = ("job.", "worker.", "proxy.", "fault.", "resume.")
 
 
 class SpanBuilder:
@@ -324,6 +335,8 @@ class SpanBuilder:
                 run.fault_events.append((rec.time, kind))
             if kind == "kill":
                 run.faults.append(rec.time)
+        elif cat.startswith("resume."):
+            _apply_resume(run, rec.time, cat[7:], data)
         elif cat == "run.allocation":
             run.allocation_nodes = data.get("nodes")
             run.cores_per_node = data.get("cores_per_node")
@@ -417,6 +430,21 @@ def _apply_job(run: RunSpans, t: float, state: str, data: dict) -> None:
         return
     if state in ("queued", "grouped", "mpiexec_spawned", "pmi_wireup", "app_running"):
         span.open_attempt().add(t, state, data)
+
+
+def _apply_resume(run: RunSpans, t: float, state: str, data: dict) -> None:
+    if state == "begin":
+        run.resumes.append((t, data.get("segment", 0)))
+        if data.get("crash_time") is not None:
+            run.crash_time = data.get("crash_time")
+    elif state == "skip":
+        job_id = data.get("job")
+        if job_id is not None:
+            run.resume_skipped[job_id] = str(data.get("outcome", ""))
+    elif state == "resubmit":
+        job_id = data.get("job")
+        if job_id is not None:
+            run.resume_resubmitted.append(job_id)
 
 
 def _apply_worker(run: RunSpans, t: float, state: str, data: dict) -> None:

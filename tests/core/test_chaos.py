@@ -10,6 +10,7 @@ from repro.cluster.machine import generic_cluster
 from repro.cluster.platform import Platform
 from repro.core.chaos import (
     FAULT_KINDS,
+    PLAN_KINDS,
     ChaosConfig,
     ChaosEngine,
     FaultClause,
@@ -86,11 +87,19 @@ class TestClauseValidation:
 
 
 class TestPlanGeneration:
-    def test_every_kind_appears_across_a_campaign(self):
+    def test_every_plannable_kind_appears_across_a_campaign(self):
         kinds = set()
         for i in range(21):
             kinds.update(plan_for_index(i).kinds())
-        assert kinds == set(FAULT_KINDS)
+        assert kinds == set(PLAN_KINDS)
+
+    def test_generated_plans_never_crash_the_dispatcher(self):
+        # dispatcher_crash is injected only by explicit resume campaigns;
+        # generated campaign plans must stay byte-stable and crash-free.
+        assert "dispatcher_crash" in FAULT_KINDS
+        assert "dispatcher_crash" not in PLAN_KINDS
+        for i in range(40):
+            assert "dispatcher_crash" not in plan_for_index(i).kinds()
 
     def test_every_third_plan_mixes_four_kinds(self):
         assert len(plan_for_index(0).kinds()) == 4
@@ -236,3 +245,34 @@ class TestChaosPlans:
             )
 
         assert once() == once()
+
+
+class TestDispatcherCrash:
+    def test_scheduled_crash_triggers_event_once(self):
+        platform, agents, engine = make_rig()
+        plan = FaultPlan(
+            (
+                FaultClause(
+                    kind="dispatcher_crash", mode="scheduled", times=(0.5, 0.7)
+                ),
+            )
+        )
+        engine.start(plan)
+        platform.env.run(platform.env.timeout(1.0))
+        # The event fires exactly once even with two scheduled times.
+        assert engine.crashed.triggered
+        assert engine.injected["dispatcher_crash"] == 1
+        marks = platform.trace.select("fault.dispatcher_crash")
+        assert len(marks) == 1
+        assert marks[0].data["at"] == pytest.approx(0.5)
+        engine.stop()
+
+    def test_no_crash_leaves_event_untriggered(self):
+        platform, agents, engine = make_rig()
+        plan = FaultPlan(
+            (FaultClause(kind="worker_kill", mode="scheduled", times=(0.5,)),)
+        )
+        engine.start(plan)
+        platform.env.run(platform.env.timeout(1.0))
+        assert not engine.crashed.triggered
+        engine.stop()

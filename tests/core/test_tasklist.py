@@ -35,6 +35,19 @@ class TestJobSpec:
         assert a.job_id != b.job_id
 
 
+class TestDuplicateIds:
+    def test_duplicate_job_ids_rejected(self):
+        a = JobSpec(program=SleepProgram(1), job_id="same")
+        b = JobSpec(program=SleepProgram(1), job_id="same")
+        with pytest.raises(TaskListError, match="duplicate job id 'same'"):
+            TaskList([a, b])
+
+    def test_distinct_explicit_ids_accepted(self):
+        a = JobSpec(program=SleepProgram(1), job_id="x1")
+        b = JobSpec(program=SleepProgram(1), job_id="x2")
+        assert len(TaskList([a, b])) == 2
+
+
 class TestTaskListParser:
     def test_paper_format(self):
         """The exact Section 5.1 example input."""

@@ -230,3 +230,48 @@ class TestPerformanceSection:
         assert "performance:" in text
         assert "wall" in text
         assert "sim/wall" in text
+
+
+class TestRecoverySection:
+    def _platform_with_resume_records(self):
+        from repro.cluster.platform import Platform
+
+        platform = Platform(generic_cluster(nodes=2, cores_per_node=2))
+        trace = platform.trace
+        trace.log(
+            "resume.begin",
+            {
+                "journal": "run.journal",
+                "segment": 1,
+                "crash_time": 4.25,
+                "outstanding": 3,
+            },
+        )
+        trace.log("resume.skip", {"job": "t0", "outcome": "done"})
+        trace.log("resume.skip", {"job": "t1", "outcome": "done"})
+        trace.log("resume.skip", {"job": "t2", "outcome": "failed"})
+        trace.log("resume.resubmit", {"job": "t3", "attempt": 1})
+        return platform
+
+    def test_report_counts_resume_records(self):
+        platform = self._platform_with_resume_records()
+        rep = RunReport.from_trace(platform.trace)
+        assert rep.resumes == 1
+        assert rep.resume_skipped_done == 2
+        assert rep.resume_skipped_failed == 1
+        assert rep.resume_resubmitted == 1
+        assert rep.crash_time == pytest.approx(4.25)
+
+    def test_render_shows_recovery_line(self):
+        platform = self._platform_with_resume_records()
+        text = RunReport.from_trace(platform.trace).render(title="unit")
+        assert "recovery: 1 resume(s)" in text
+        assert "crash at t=4.250" in text
+        assert "2 skipped done" in text
+        assert "1 skipped failed" in text
+        assert "1 resubmitted" in text
+
+    def test_unresumed_run_has_no_recovery_section(self):
+        batch = run_sim()
+        text = render_report(batch.platform.trace, title="unit")
+        assert "recovery:" not in text
