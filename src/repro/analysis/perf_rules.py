@@ -1,4 +1,4 @@
-"""Hot-path performance rules (PF001-PF006).
+"""Hot-path performance rules (PF001-PF007).
 
 The JETS scaling story lives or dies in the per-event inner loops: the
 kernel event loop, the store dispatch fixpoints, and the dispatcher /
@@ -536,6 +536,112 @@ class TryInEventLoop(PerfRule):
                 "loop; hoist the loop into the try or move the guarded "
                 "call out",
                 True,
+            )
+
+
+#: heapq's heap-maintenance functions (the query helpers — merge,
+#: nlargest, nsmallest — are not heap *scheduling* and stay unflagged).
+_HEAP_FNS = frozenset(
+    {"heappush", "heappop", "heapify", "heappushpop", "heapreplace"}
+)
+
+#: The one module allowed to own scheduling heaps: the kernel scheduler
+#: (its calendar-queue overflow heap and the legacy explore engine).
+_SCHEDULER_MODULE = "repro.simkernel.core"
+
+
+@register
+class HeapOutsideScheduler(PerfRule):
+    """Direct ``heapq`` traffic outside the kernel scheduler.
+
+    The event-loop flattening work moved scheduling off the flat
+    ``heapq`` of per-event tuples onto the calendar queue precisely
+    because sift-up/sift-down plus a tuple allocation per push is
+    measurable at per-event rates — a new ``heappush`` on a hot path
+    (worse, one pushing a tuple entry, which re-creates the old
+    time-ordered-tuple pattern wholesale) quietly reintroduces the cost
+    the kernel just shed.  Time/priority ordering belongs in
+    :class:`~repro.simkernel.core.Environment`; only the scheduler
+    module itself (its sorted-overflow structure and the legacy explore
+    engine) owns a scheduling heap.  Genuine non-scheduling heaps (e.g.
+    priority-ordered *items* in a store) take a
+    ``# repro: noqa[PF007]`` with the reason.
+    """
+
+    id = "PF007"
+    description = (
+        "direct heapq use (or tuple heap entries) outside the kernel "
+        "scheduler; error on the hot path"
+    )
+    example_bad = (
+        "import heapq\n"
+        "def _handle_worker(self, msg):\n"
+        "    heapq.heappush(self.pending, (deadline, seq, msg))"
+    )
+    example_good = (
+        "# schedule through the kernel instead of a private time heap\n"
+        "self.env.timeout(deadline - self.env.now, value=msg)"
+    )
+
+    def check_module(
+        self, module: Module, graph: CallGraph, hot: frozenset[str]
+    ) -> Iterator[Finding]:
+        from .callgraph import module_name_for
+
+        if module_name_for(module.path) == _SCHEDULER_MODULE:
+            return
+        # Names bound by `from heapq import heappush [as push]` (plus
+        # local aliases like `heappop = heapq.heappop`).
+        local_heap_fns: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "heapq":
+                for alias in node.names:
+                    if alias.name in _HEAP_FNS:
+                        local_heap_fns[alias.asname or alias.name] = (
+                            alias.name
+                        )
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == "heapq"
+                and node.value.attr in _HEAP_FNS
+            ):
+                local_heap_fns[node.targets[0].id] = node.value.attr
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "heapq"
+                and func.attr in _HEAP_FNS
+            ):
+                fname = func.attr
+            elif isinstance(func, ast.Name) and func.id in local_heap_fns:
+                fname = local_heap_fns[func.id]
+            else:
+                continue
+            tuple_entry = (
+                fname in ("heappush", "heappushpop", "heapreplace")
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Tuple)
+            )
+            detail = (
+                " with a tuple entry (the flat-heap pattern the "
+                "calendar queue replaced)"
+                if tuple_entry
+                else ""
+            )
+            yield self.pf_finding(
+                module, node,
+                f"heapq.{fname}(){detail} outside the kernel scheduler; "
+                "schedule through the Environment calendar queue or "
+                "justify the private heap",
+                self.is_hot(module, graph, hot, node),
             )
 
 

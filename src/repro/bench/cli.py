@@ -121,6 +121,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 def _print_result(result: BenchResult) -> None:
     parts = [f"  {result.name:<18} {result.wall_s:8.3f}s"]
+    if (
+        result.wall_median_s is not None
+        and result.wall_median_s != result.wall_s
+    ):
+        parts.append(f"median {result.wall_median_s:.3f}s")
     if result.events_per_s:
         parts.append(f"{result.events_per_s:>12,.0f} ev/s")
     parts.append(f"rss {result.peak_rss_kb // 1024} MB")

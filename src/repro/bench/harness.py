@@ -18,7 +18,8 @@ The JSON layout (one file per suite, ``BENCH_<suite>.json``)::
       "python": "3.12.3",
       "results": {
         "fig09_mpi512": {
-          "wall_s": 1.93, "events": 1182732, "events_per_s": 612814.5,
+          "wall_s": 1.93, "wall_median_s": 1.97,
+          "events": 1182732, "events_per_s": 612814.5,
           "sim_s": 672.2, "peak_rss_kb": 151220,
           "alloc_peak_kb": 78123.4, "alloc_net_blocks": 51234,
           "meta": {...workload parameters...}
@@ -77,6 +78,10 @@ class BenchResult:
 
     name: str
     wall_s: float
+    #: Median wall across the timed repeats (equals ``wall_s`` for a
+    #: single repeat); the min/median pair shows both the noise floor
+    #: and the typical cost.
+    wall_median_s: Optional[float] = None
     events: Optional[int] = None
     events_per_s: Optional[float] = None
     sim_s: Optional[float] = None
@@ -87,6 +92,8 @@ class BenchResult:
 
     def to_json(self) -> dict:
         out: dict = {"wall_s": round(self.wall_s, 6)}
+        if self.wall_median_s is not None:
+            out["wall_median_s"] = round(self.wall_median_s, 6)
         if self.events is not None:
             out["events"] = self.events
             out["events_per_s"] = round(self.events_per_s or 0.0, 1)
@@ -142,26 +149,35 @@ def run_workload(
 ) -> BenchResult:
     """Measure one workload: timed pass(es), then optional tracemalloc pass.
 
-    With ``repeats > 1`` the timed pass runs that many times and the
-    *minimum* wall time is reported — the standard noise-rejection move:
-    a run can only be slowed down by interference, never sped up, so the
-    minimum is the best estimate of the workload's true cost.  The
-    workload outputs (events, sim time) are deterministic across repeats.
+    With ``repeats > 1`` the timed pass runs that many times; the
+    *minimum* wall time is reported as ``wall_s`` — the standard
+    noise-rejection move: a run can only be slowed down by interference,
+    never sped up, so the minimum is the best estimate of the workload's
+    true cost — and the *median* as ``wall_median_s``, the typical cost
+    under whatever noise the machine had.  The workload outputs (events,
+    sim time) are deterministic across repeats.
     """
-    wall = float("inf")
+    walls: list[float] = []
     out: dict = {}
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()  # repro: noqa[DT001]
         out = workload.fn(quick) or {}
-        elapsed = time.perf_counter() - t0  # repro: noqa[DT001]
-        if elapsed < wall:
-            wall = elapsed
+        walls.append(time.perf_counter() - t0)  # repro: noqa[DT001]
+    wall = min(walls)
+    ordered = sorted(walls)
+    mid = len(ordered) // 2
+    median = (
+        ordered[mid]
+        if len(ordered) % 2
+        else (ordered[mid - 1] + ordered[mid]) / 2.0
+    )
 
     events = out.pop("events", None)
     sim_s = out.pop("sim_s", None)
     result = BenchResult(
         name=workload.name,
         wall_s=wall,
+        wall_median_s=median,
         events=events,
         events_per_s=(events / wall) if events and wall > 0 else None,
         sim_s=sim_s,
@@ -286,7 +302,10 @@ def compare_runs(
     than ``threshold_pct`` percent, or when its deterministic kernel
     event count grew beyond :data:`EVENT_GROWTH_TOLERANCE`.  Workloads
     whose parameters differ from the baseline (e.g. a ``--quick`` run
-    against a full baseline) are skipped, not compared.
+    against a full baseline) are skipped, not compared — as is any
+    workload present on only one side (a fresh workload has no baseline
+    yet; a retired one no fresh run), so baseline files survive workload
+    additions and removals with a warning instead of an error.
     """
     cmp = Comparison(threshold_pct=threshold_pct)
     skipped, regressions = cmp.skipped, cmp.regressions
@@ -318,6 +337,10 @@ def compare_runs(
                     f"baseline {old_events} (deterministic count grew "
                     f"> {(EVENT_GROWTH_TOLERANCE - 1) * 100:.0f}%)"
                 )
+    fresh_names = {result.name for result in run.results}
+    for name in base_results:
+        if name not in fresh_names:
+            skipped.append(f"{name}: in baseline only (not in this run)")
     return cmp
 
 

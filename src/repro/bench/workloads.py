@@ -101,6 +101,75 @@ def _timeout_storm(quick: bool) -> dict:
     }
 
 
+def _resume_chain(quick: bool) -> dict:
+    """Deep succeed→resume ladders: the zero-alloc inline chain path.
+
+    Every yield is an event that succeeded immediately with no other
+    listener — the exact shape the scheduler's succeed→resume fast path
+    collapses into inline generator stepping.  On kernels without that
+    path each rung is a full schedule/pop round-trip, so this workload
+    isolates the chain win (``event_churn`` mixes in processed-target
+    and late-listener traffic).
+    """
+    from ..simkernel import Environment
+
+    procs = 50 if quick else 200
+    depth = 200 if quick else 800
+    env = Environment()
+
+    def ladder(env):
+        acc = 0
+        for i in range(depth):
+            ev = env.event()
+            ev.succeed(i)
+            acc += yield ev
+        return acc
+
+    ladders = [env.process(ladder(env)) for _ in range(procs)]
+    env.run()
+    return {
+        "events": env.events_processed,
+        "sim_s": env.now,
+        "procs": procs,
+        "depth": depth,
+        "checksum": sum(p.value for p in ladders),
+    }
+
+
+def _far_future(quick: bool) -> dict:
+    """Calendar-queue overflow stress: irregular far-future timestamps.
+
+    Nearly every timeout lands at a unique future time, so each insert
+    opens a fresh bucket in the sorted overflow structure and each pop
+    retires one — the worst case for bucketed time (no same-time or
+    fixed-delay reuse to amortize), and pure heap churn on kernels with
+    a flat event heap.
+    """
+    from ..simkernel import Environment
+
+    procs = 100 if quick else 400
+    rounds = 30 if quick else 100
+    env = Environment()
+
+    def worker(env, i):
+        for r in range(rounds):
+            # Knuth-style multiplicative hashing spreads the delays over
+            # ~100k distinct values, so bucket reuse is rare.
+            yield env.timeout(
+                1.0 + ((i * 2654435761 + r * 40503) % 100003) / 97.0
+            )
+
+    for i in range(procs):
+        env.process(worker(env, i))
+    env.run()
+    return {
+        "events": env.events_processed,
+        "sim_s": round(env.now, 6),
+        "procs": procs,
+        "rounds": rounds,
+    }
+
+
 def _interrupt_storm(quick: bool) -> dict:
     """Interrupt delivery: bridge allocation + throw into generators."""
     from ..simkernel import Environment, Interrupt
@@ -440,6 +509,12 @@ SUITES: dict[str, list[Workload]] = {
     "kernel": [
         Workload("event_churn", _event_churn, "event alloc/trigger/resume"),
         Workload("timeout_storm", _timeout_storm, "heap churn, same-time ties"),
+        Workload(
+            "resume_chain", _resume_chain, "deep succeed→resume ladders"
+        ),
+        Workload(
+            "far_future", _far_future, "irregular far-future overflow stress"
+        ),
         Workload("interrupt_storm", _interrupt_storm, "interrupt delivery"),
         Workload("trace_query", _trace_query, "trace select/times queries"),
         Workload("aggregator_churn", _aggregator_churn, "dispatch scans"),

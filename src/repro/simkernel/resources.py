@@ -235,10 +235,11 @@ class PriorityStore(Store):
         return len(self._heap)
 
     def _insert(self, item: Any) -> None:
-        heapq.heappush(self._heap, item)
+        # Item priority order, not event scheduling.
+        heapq.heappush(self._heap, item)  # repro: noqa[PF007]
 
     def _pop(self) -> Any:
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)  # repro: noqa[PF007]
 
     def _dispatch(self) -> None:
         # Same fixpoint argument as Store._dispatch.

@@ -1,4 +1,4 @@
-"""Seeded hot/cold performance hazards for the PF001-PF006 rules.
+"""Seeded hot/cold performance hazards for the PF001-PF007 rules.
 
 Loaded as *text* by the lint tests, never imported.  The ``# MARK:``
 comments pin the expected finding lines.  ``Environment.step`` matches
@@ -8,7 +8,9 @@ the hot path — hazards there must surface as *errors* tagged
 from any entry, so the same hazards there stay *warnings*.
 """
 
+import heapq
 from dataclasses import dataclass
+from heapq import heappush as _push
 
 
 @dataclass
@@ -50,6 +52,7 @@ class Environment:
             self.trace.log("ev", {"msg": f"drained {total}"})  # MARK: PF003-hot
             rec = Record("job", 0.0)  # MARK: PF004-hot
             ok = SlottedRecord("job")  # slotted: must stay clean
+            heapq.heappush(self.queue, (total, rec))  # MARK: PF007-hot
             self.queue.pop()
             try:  # MARK: PF005-hot
                 self._place(rec, ok)
@@ -109,6 +112,14 @@ def cold_retry(items):
             item.execute()
         except ValueError:
             pass
+
+
+def cold_heap_schedule(pending, job):
+    # A private time-ordered heap outside the kernel scheduler; the
+    # aliased `from heapq import heappush as _push` form must be
+    # tracked just like the attribute form.
+    _push(pending, (job.t, job))  # MARK: PF007-cold
+    return heapq.heappop(pending)  # MARK: PF007-cold
 
 
 def cold_membership(jobs):

@@ -1,4 +1,4 @@
-"""The PF001-PF006 hot-path perf rules against their seeded fixture.
+"""The PF001-PF007 hot-path perf rules against their seeded fixture.
 
 ``perf_hazards.py`` plants every pattern twice: once reachable from its
 fixture ``Environment.step`` (hot → error, ``[hot path]`` tag) and once
@@ -13,7 +13,7 @@ from repro.analysis.perf_rules import set_hot_profile
 
 from .test_static_rules import lines_for, lint_fixture, mark_lines
 
-PF_RULES = ["PF001", "PF002", "PF003", "PF004", "PF005", "PF006"]
+PF_RULES = ["PF001", "PF002", "PF003", "PF004", "PF005", "PF006", "PF007"]
 
 
 def severities_at(findings, rule, lines):
@@ -72,6 +72,24 @@ class TestPerfRules:
         )
         assert lines_for(findings, "PF006") == expected
 
+    def test_pf007_lines(self, linted):
+        source, findings = linted
+        expected = set(
+            mark_lines(source, "PF007-hot") + mark_lines(source, "PF007-cold")
+        )
+        assert lines_for(findings, "PF007") == expected
+
+    def test_pf007_tuple_entry_called_out(self, linted):
+        source, findings = linted
+        tuple_pushes = set(
+            mark_lines(source, "PF007-hot")
+            + mark_lines(source, "PF007-cold")[:1]  # the _push line
+        )
+        for f in findings:
+            if f.rule != "PF007":
+                continue
+            assert ("tuple entry" in f.message) == (f.line in tuple_pushes)
+
     # -- severity escalation on the hot path -------------------------------
 
     @pytest.mark.parametrize(
@@ -82,6 +100,7 @@ class TestPerfRules:
             ("PF003", "PF003-hot", "PF003-cold"),
             ("PF004", "PF004-hot", "PF004-cold"),
             ("PF006", "PF006-hot", "PF006-cold"),
+            ("PF007", "PF007-hot", "PF007-cold"),
         ],
     )
     def test_hot_error_cold_warning(self, linted, rule, hot_mark, cold_mark):
